@@ -1,0 +1,71 @@
+// Command pythia-trace makes one query's life visible: it plans a template
+// instance, prints the EXPLAIN-style physical plan, the Algorithm 2 token
+// serialization, the raw access-script statistics, and the processed
+// (Algorithm 1) per-object trace that Pythia trains on.
+//
+// Usage:
+//
+//	pythia-trace -template t91 -sf 20 -instance 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/exec"
+	"github.com/pythia-db/pythia/internal/plan"
+	"github.com/pythia-db/pythia/internal/serialize"
+	"github.com/pythia-db/pythia/internal/trace"
+)
+
+func main() {
+	var (
+		template = flag.String("template", "t91", "DSB template (t18, t19, t91)")
+		sf       = flag.Int("sf", 20, "scale factor")
+		seed     = flag.Uint64("seed", 7, "seed")
+		instance = flag.Int("instance", 0, "which generated instance to trace")
+	)
+	flag.Parse()
+
+	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
+	queries := gen.Queries(*template, *instance+1, *seed+1)
+	q := queries[*instance]
+
+	pl := plan.NewPlanner(gen.DB())
+	root := pl.Plan(q)
+
+	fmt.Printf("=== %s instance %d ===\n\n", *template, *instance)
+	fmt.Println("physical plan:")
+	fmt.Println(root.Display())
+
+	fmt.Println("serialized plan (Algorithm 2):")
+	toks := serialize.Serialize(root, serialize.DefaultConfig())
+	fmt.Println(" ", strings.Join(toks, " "))
+	fmt.Printf("  (%d tokens)\n\n", len(toks))
+
+	res := exec.Run(root)
+	st := trace.ComputeStats(res.Requests)
+	fmt.Printf("execution: %d output rows, %d page requests\n", res.Rows, len(res.Requests))
+	fmt.Printf("  sequential requests:       %d\n", st.SeqRequests)
+	fmt.Printf("  non-sequential requests:   %d (%d distinct)\n\n", st.NonSeqRequests, st.DistinctNonSeq)
+
+	processed := trace.Process(res.Requests)
+	fmt.Println("processed trace (Algorithm 1 — per object, sorted offsets):")
+	for _, obj := range gen.DB().Registry.Objects() {
+		pages := processed.Object(obj.ID)
+		if len(pages) == 0 {
+			continue
+		}
+		preview := ""
+		for i, p := range pages {
+			if i == 12 {
+				preview += " ..."
+				break
+			}
+			preview += fmt.Sprintf(" %d", p)
+		}
+		fmt.Printf("  %-45s (%s, %4d pages):%s\n", obj.Name, obj.Kind, len(pages), preview)
+	}
+}

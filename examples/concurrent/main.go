@@ -1,0 +1,69 @@
+// Concurrency study: the paper's §5.4 — Pythia with multiple queries and no
+// cache flushing in between. Shows the three regimes of Figure 13:
+// back-to-back warm-cache runs, same-template concurrency (prefetches help
+// siblings), and mixed-template concurrency (neighbours contend).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pythia-db/pythia"
+)
+
+func main() {
+	fmt.Println("building DSB database and training t18/t19/t91 (this takes a few minutes)...")
+	gen := pythia.NewDSB(pythia.DSBConfig{ScaleFactor: 15, Seed: 7})
+	sys := pythia.New(gen.DB(), pythia.DefaultConfig())
+
+	var tests [][]*pythia.Instance
+	for _, tpl := range []string{"t18", "t19", "t91"} {
+		w := gen.Workload(tpl, 50, 1)
+		train, test := w.Split(0.2, 3)
+		start := time.Now()
+		sys.Train(tpl, train)
+		fmt.Printf("  %s trained in %s\n", tpl, time.Since(start).Round(time.Second))
+		tests = append(tests, test)
+	}
+
+	totalSpeedup := func(insts []*pythia.Instance, arrivals []time.Duration) float64 {
+		dflt := sys.Run(insts, arrivals, nil)
+		py := sys.Run(insts, arrivals, sys.Prefetch)
+		return float64(dflt.TotalElapsed()) / float64(py.TotalElapsed())
+	}
+
+	// --- 13a: sequential, warm cache -------------------------------------
+	fmt.Println("\nsequential multi-query (warm cache, one query of each template):")
+	mixed := []*pythia.Instance{tests[0][0], tests[1][0], tests[2][0]}
+	var arrivals []time.Duration
+	var at time.Duration
+	for _, q := range mixed {
+		arrivals = append(arrivals, at)
+		solo := sys.Run([]*pythia.Instance{q}, nil, nil)
+		at += solo.TotalElapsed() * 12 / 10
+	}
+	fmt.Printf("  total-latency speedup: %.2fx\n", totalSpeedup(mixed, arrivals))
+
+	// --- 13b: concurrent, single template ---------------------------------
+	fmt.Println("\nconcurrent queries, single template (t91):")
+	for _, n := range []int{1, 2, 4} {
+		insts := make([]*pythia.Instance, n)
+		for i := range insts {
+			insts[i] = tests[2][i%len(tests[2])]
+		}
+		fmt.Printf("  %d concurrent: %.2fx\n", n, totalSpeedup(insts, make([]time.Duration, n)))
+	}
+
+	// --- 13c: concurrent, mixed templates ---------------------------------
+	fmt.Println("\nconcurrent queries, mixed templates:")
+	for _, n := range []int{2, 3} {
+		insts := make([]*pythia.Instance, n)
+		for i := range insts {
+			insts[i] = tests[i%3][i/3]
+		}
+		fmt.Printf("  %d concurrent: %.2fx\n", n, totalSpeedup(insts, make([]time.Duration, n)))
+	}
+
+	fmt.Println("\nsame-template neighbours share prefetched pages; mixed-template")
+	fmt.Println("neighbours contend for the buffer — the Figure 13b/13c contrast.")
+}

@@ -1,0 +1,3 @@
+module github.com/pythia-db/pythia
+
+go 1.22

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/metrics"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	g := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	return g.Workload("t91", 24, 1)
+}
+
+func TestOracleIsPerfect(t *testing.T) {
+	w := testWorkload(t)
+	for _, inst := range w.Instances {
+		s := metrics.Score(Oracle(inst), inst.Pages)
+		if s.F1 != 1 {
+			t.Fatalf("oracle F1 = %f", s.F1)
+		}
+	}
+}
+
+func TestOracleSequentialDisjointFromOracle(t *testing.T) {
+	w := testWorkload(t)
+	inst := w.Instances[0]
+	seq := OracleSequential(inst)
+	if len(seq) == 0 {
+		t.Fatal("no sequential pages (fact scan missing?)")
+	}
+	// Sorted in file-storage order.
+	for i := 1; i < len(seq); i++ {
+		if !seq[i-1].Less(seq[i]) {
+			t.Fatal("sequential oracle pages not sorted")
+		}
+	}
+	// Sequential and non-sequential page sets describe different accesses;
+	// heavily overlapping sets would mean the trace tagging is broken.
+	if inter := metrics.Score(seq, inst.Pages); inter.Precision > 0.5 {
+		t.Fatalf("seq/non-seq page sets overlap too much: %+v", inter)
+	}
+}
+
+func TestNearestNeighborFindsSelf(t *testing.T) {
+	w := testWorkload(t)
+	// If the test instance itself is in the training set, NN returns its
+	// exact pages (Jaccard 1 with itself).
+	inst := w.Instances[0]
+	pred := NearestNeighbor(inst, w.Instances)
+	if metrics.Score(pred, inst.Pages).F1 != 1 {
+		t.Fatal("NN did not find the identical training query")
+	}
+}
+
+func TestNearestNeighborReasonableOnHoldout(t *testing.T) {
+	w := testWorkload(t)
+	train, test := w.Split(0.2, 3)
+	var f1s []float64
+	for _, inst := range test {
+		pred := NearestNeighbor(inst, train)
+		f1s = append(f1s, metrics.Score(pred, inst.Pages).F1)
+	}
+	mean := metrics.Summarize(f1s).Mean
+	// NN is the paper's strong idealized baseline; on a correlated template
+	// its holdout F1 should be clearly above zero.
+	if mean < 0.15 {
+		t.Fatalf("NN holdout mean F1 = %.3f", mean)
+	}
+}
+
+func TestNearestNeighborEmptyTrain(t *testing.T) {
+	w := testWorkload(t)
+	if NearestNeighbor(w.Instances[0], nil) != nil {
+		t.Fatal("NN with no training data should be nil")
+	}
+}
+
+func TestNearestNeighborDeterministicTieBreak(t *testing.T) {
+	w := testWorkload(t)
+	train := w.Instances[:10]
+	inst := w.Instances[12]
+	a := NearestNeighbor(inst, train)
+	b := NearestNeighbor(inst, train)
+	if len(a) != len(b) {
+		t.Fatal("NN not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("NN not deterministic")
+		}
+	}
+}
+
+func TestDflt(t *testing.T) {
+	w := testWorkload(t)
+	if Dflt(w.Instances[0]) != nil {
+		t.Fatal("DFLT must not prefetch")
+	}
+}

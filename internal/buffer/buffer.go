@@ -1,0 +1,321 @@
+// Package buffer implements the RDBMS buffer pool the prefetcher cooperates
+// with: a fixed number of page frames, a replacement policy (Clock by
+// default, matching Postgres; LRU and MRU added exactly as the paper's §5.3
+// experiment adds them), pin counts, and hit/miss accounting.
+//
+// The pool stores page identities only — the simulator is trace-driven — but
+// its replacement behaviour is exact: Clock sweeps a ring of reference bits,
+// LRU evicts the least recently used unpinned frame, MRU the most recently
+// used. Pinned frames are never evicted, which is how Pythia's readahead
+// window guarantees prefetched pages survive until the executor consumes
+// them.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+const (
+	// Clock is Postgres' clock-sweep approximation of LRU (the default).
+	Clock Policy = iota
+	// LRU evicts the least recently used unpinned page.
+	LRU
+	// MRU evicts the most recently used unpinned page.
+	MRU
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case Clock:
+		return "clock"
+	case LRU:
+		return "lru"
+	case MRU:
+		return "mru"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Stats counts buffer pool events for one run.
+type Stats struct {
+	Hits          uint64 // requests served from the pool
+	Misses        uint64 // requests that had to read below the pool
+	Evictions     uint64 // frames replaced
+	Inserts       uint64 // pages brought into the pool
+	PrefetchedIn  uint64 // pages inserted by the prefetcher
+	PrefetchHits  uint64 // prefetched pages later hit by the executor
+	FailedInserts uint64 // inserts refused because every frame was pinned
+}
+
+// HitRatio returns hits / (hits+misses), or 0 for an idle pool.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	page       storage.PageID
+	pins       int
+	ref        bool          // clock reference bit
+	elem       *list.Element // LRU/MRU list position
+	slot       int           // clock ring slot
+	prefetched bool          // inserted by the prefetcher, not yet used
+}
+
+// Pool is a buffer pool of capacity page frames under one replacement
+// policy. The zero value is unusable; construct with New.
+type Pool struct {
+	capacity int
+	policy   Policy
+	frames   map[storage.PageID]*frame
+	stats    Stats
+
+	// Clock state: a ring of frames and the sweep hand. Holes (nil) are
+	// reused before the ring grows.
+	ring     []*frame
+	hand     int
+	freeSlot []int
+
+	// LRU/MRU state: front = most recently used.
+	lru *list.List
+}
+
+// New returns a pool with the given frame capacity and policy. Capacity must
+// be positive.
+func New(capacity int, policy Policy) *Pool {
+	if capacity <= 0 {
+		panic("buffer: non-positive capacity")
+	}
+	return &Pool{
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[storage.PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Cap returns the pool's frame capacity.
+func (p *Pool) Cap() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// Policy returns the replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// Stats returns a copy of the pool's counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Contains reports residency without touching usage information or stats;
+// the prefetcher uses it to skip pages already in the pool.
+func (p *Pool) Contains(pg storage.PageID) bool {
+	_, ok := p.frames[pg]
+	return ok
+}
+
+// Pinned returns the pin count of a resident page (0 if absent).
+func (p *Pool) Pinned(pg storage.PageID) int {
+	if f, ok := p.frames[pg]; ok {
+		return f.pins
+	}
+	return 0
+}
+
+// Get looks up a page for the executor. On a hit it bumps the page's usage
+// (reference bit or recency) and returns true; on a miss it returns false and
+// the caller is responsible for reading the page and calling Insert. A hit on
+// a prefetched frame is counted as a useful prefetch, mirroring the paper's
+// "if it is found in the buffer, nothing happens except increasing its use
+// count".
+func (p *Pool) Get(pg storage.PageID) bool {
+	f, ok := p.frames[pg]
+	if !ok {
+		p.stats.Misses++
+		return false
+	}
+	p.stats.Hits++
+	if f.prefetched {
+		f.prefetched = false
+		p.stats.PrefetchHits++
+	}
+	p.touch(f)
+	return true
+}
+
+// Insert brings a page into the pool after a miss read. prefetched marks
+// inserts performed by the prefetcher. If the page is already resident,
+// Insert just bumps its usage. If the pool is full and every frame is
+// pinned, the insert is refused and Insert returns false — the caller (the
+// prefetcher) must back off rather than deadlock.
+func (p *Pool) Insert(pg storage.PageID, prefetched bool) bool {
+	if f, ok := p.frames[pg]; ok {
+		p.touch(f)
+		return true
+	}
+	if len(p.frames) >= p.capacity {
+		victim := p.victim()
+		if victim == nil {
+			p.stats.FailedInserts++
+			return false
+		}
+		p.evict(victim)
+	}
+	f := &frame{page: pg, prefetched: prefetched}
+	p.frames[pg] = f
+	p.attach(f)
+	p.stats.Inserts++
+	if prefetched {
+		p.stats.PrefetchedIn++
+	}
+	return true
+}
+
+// Pin increments the page's pin count, protecting it from eviction. It
+// returns false if the page is not resident.
+func (p *Pool) Pin(pg storage.PageID) bool {
+	f, ok := p.frames[pg]
+	if !ok {
+		return false
+	}
+	f.pins++
+	return true
+}
+
+// Unpin decrements the page's pin count. Unpinning an absent or unpinned
+// page panics: pin balance bugs corrupt eviction and must surface loudly.
+func (p *Pool) Unpin(pg storage.PageID) {
+	f, ok := p.frames[pg]
+	if !ok {
+		panic("buffer: Unpin of non-resident page " + pg.String())
+	}
+	if f.pins == 0 {
+		panic("buffer: Unpin of unpinned page " + pg.String())
+	}
+	f.pins--
+}
+
+// PinnedCount returns the number of frames with at least one pin.
+func (p *Pool) PinnedCount() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear empties the pool (a "restart Postgres" between cold-cache runs) but
+// keeps counters; use ResetStats to clear those too.
+func (p *Pool) Clear() {
+	p.frames = make(map[storage.PageID]*frame, p.capacity)
+	p.ring = p.ring[:0]
+	p.freeSlot = p.freeSlot[:0]
+	p.hand = 0
+	p.lru.Init()
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// --- policy plumbing ---
+
+func (p *Pool) attach(f *frame) {
+	switch p.policy {
+	case Clock:
+		f.ref = true
+		if n := len(p.freeSlot); n > 0 {
+			slot := p.freeSlot[n-1]
+			p.freeSlot = p.freeSlot[:n-1]
+			f.slot = slot
+			p.ring[slot] = f
+		} else {
+			f.slot = len(p.ring)
+			p.ring = append(p.ring, f)
+		}
+	default: // LRU, MRU
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+func (p *Pool) touch(f *frame) {
+	switch p.policy {
+	case Clock:
+		f.ref = true
+	default:
+		p.lru.MoveToFront(f.elem)
+	}
+}
+
+func (p *Pool) detach(f *frame) {
+	switch p.policy {
+	case Clock:
+		p.ring[f.slot] = nil
+		p.freeSlot = append(p.freeSlot, f.slot)
+	default:
+		p.lru.Remove(f.elem)
+	}
+}
+
+func (p *Pool) evict(f *frame) {
+	p.detach(f)
+	delete(p.frames, f.page)
+	p.stats.Evictions++
+}
+
+// victim selects an unpinned frame to evict, or nil if none exists.
+func (p *Pool) victim() *frame {
+	switch p.policy {
+	case Clock:
+		return p.clockVictim()
+	case LRU:
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			if f := e.Value.(*frame); f.pins == 0 {
+				return f
+			}
+		}
+		return nil
+	case MRU:
+		for e := p.lru.Front(); e != nil; e = e.Next() {
+			if f := e.Value.(*frame); f.pins == 0 {
+				return f
+			}
+		}
+		return nil
+	default:
+		panic("buffer: unknown policy")
+	}
+}
+
+// clockVictim sweeps the ring: a frame with its reference bit set gets a
+// second chance (bit cleared); the first unpinned frame with a clear bit is
+// the victim. Two full sweeps with no candidate means everything is pinned.
+func (p *Pool) clockVictim() *frame {
+	if len(p.ring) == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2*len(p.ring); pass++ {
+		f := p.ring[p.hand]
+		p.hand = (p.hand + 1) % len(p.ring)
+		if f == nil || f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}

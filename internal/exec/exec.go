@@ -1,0 +1,209 @@
+// Package exec is the query executor: it runs a physical plan tree against
+// the catalog and emits the exact ordered sequence of page requests the plan
+// generates — sequential heap reads for Seq Scans, index-page descents and
+// heap fetches for Index Scans under nested loops, build-side scans for hash
+// joins. That request stream is the query's "trace" (paper §3.3, Trace
+// Construction) and, replayed through the cache hierarchy, its runtime.
+//
+// The executor is push-based: each operator emits bindings to its consumer.
+// For a trace-driven simulator this is equivalent to the Volcano pull model
+// Postgres uses — the page access order is identical — and considerably
+// simpler.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/plan"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// Result summarizes one query execution.
+type Result struct {
+	// Rows is the number of rows that reached the plan root.
+	Rows int64
+	// Requests is the ordered page-access script, with per-request tuple
+	// counts for CPU accounting during replay.
+	Requests []storage.Request
+	// TrailingTuples counts tuples processed after the final page request.
+	TrailingTuples int
+}
+
+// tuple binds each relation appearing in the plan (by slot) to a row.
+type tuple []int64
+
+type colBinding struct {
+	rel  *catalog.Relation
+	slot int
+}
+
+type executor struct {
+	slots    map[string]int // relation name -> tuple slot
+	rels     []*catalog.Relation
+	cols     map[string]colBinding // column name -> owning relation
+	requests []storage.Request
+	tuples   int // tuples processed since last request
+	rows     int64
+	cur      tuple
+}
+
+// Run executes the plan rooted at root and returns its result. The plan
+// must have been produced against the same catalog its scan nodes reference.
+// Column names must be unique across the query's relations (the DSB-style
+// prefixed schemas guarantee this); Run panics otherwise, since an ambiguous
+// join column is a schema bug.
+func Run(root *plan.Node) *Result {
+	e := &executor{slots: make(map[string]int), cols: make(map[string]colBinding)}
+	root.Walk(func(n *plan.Node) {
+		if n.Rel == nil {
+			return
+		}
+		if _, ok := e.slots[n.Rel.Name]; ok {
+			return
+		}
+		slot := len(e.slots)
+		e.slots[n.Rel.Name] = slot
+		e.rels = append(e.rels, n.Rel)
+		for _, c := range n.Rel.Columns {
+			if prev, dup := e.cols[c.Name]; dup && prev.rel != n.Rel {
+				panic("exec: column " + c.Name + " is ambiguous across relations")
+			}
+			e.cols[c.Name] = colBinding{rel: n.Rel, slot: slot}
+		}
+	})
+	e.cur = make(tuple, len(e.slots))
+	e.run(root, func() { e.rows++ })
+	return &Result{Rows: e.rows, Requests: e.requests, TrailingTuples: e.tuples}
+}
+
+// request records a page access, folding in the tuple count accumulated
+// since the previous request.
+func (e *executor) request(p storage.PageID, sequential bool) {
+	e.requests = append(e.requests, storage.Request{
+		Page:       p,
+		Sequential: sequential,
+		Tuples:     e.tuples,
+	})
+	e.tuples = 0
+}
+
+func (e *executor) slot(rel *catalog.Relation) int { return e.slots[rel.Name] }
+
+func predsMatch(rel *catalog.Relation, row int64, preds []plan.Pred) bool {
+	for _, p := range preds {
+		if !p.Matches(rel.Value(p.Col, row)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *executor) run(n *plan.Node, emit func()) {
+	switch n.Kind {
+	case plan.KindSeqScan:
+		e.seqScan(n, emit)
+	case plan.KindNestedLoop:
+		inner := n.Right
+		if inner == nil || inner.Kind != plan.KindIndexScan {
+			panic("exec: nested loop requires an index-scan inner")
+		}
+		e.run(n.Left, func() { e.indexProbe(inner, emit) })
+	case plan.KindHashJoin:
+		e.hashJoin(n, emit)
+	case plan.KindFilter:
+		e.run(n.Left, func() {
+			if n.Rel == nil || predsMatch(n.Rel, e.cur[e.slot(n.Rel)], n.Preds) {
+				emit()
+			}
+		})
+	case plan.KindAgg, plan.KindSort:
+		// Neither changes page access order (the paper's serializer skips
+		// sort/hash nodes for the same reason); aggregation consumes rows.
+		e.run(n.Left, emit)
+	case plan.KindIndexScan:
+		panic("exec: bare index scan outside a nested loop")
+	default:
+		panic(fmt.Sprintf("exec: unknown plan kind %v", n.Kind))
+	}
+}
+
+// seqScan reads the relation's heap in file order, one request per page,
+// emitting rows that pass the node's predicates.
+func (e *executor) seqScan(n *plan.Node, emit func()) {
+	rel := n.Rel
+	slot := e.slot(rel)
+	lastPage := storage.PageNum(0)
+	havePage := false
+	for row := int64(0); row < rel.Rows; row++ {
+		p := rel.HeapPage(row)
+		if !havePage || p.Page != lastPage {
+			e.request(p, true)
+			lastPage, havePage = p.Page, true
+		}
+		e.tuples++
+		if predsMatch(rel, row, n.Preds) {
+			e.cur[slot] = row
+			emit()
+		}
+	}
+}
+
+// indexProbe probes the inner index with the outer tuple's join key: the
+// B+tree descent and sibling-leaf pages are requested (non-sequential), then
+// each matching heap row's page is fetched (non-sequential) before the
+// node's residual predicates run.
+func (e *executor) indexProbe(n *plan.Node, emit func()) {
+	outerVal := e.outerValue(n.OuterCol)
+	probe := n.Index.Tree.Lookup(outerVal)
+	for _, p := range probe.IndexPages {
+		e.request(p, false)
+	}
+	rel := n.Rel
+	slot := e.slot(rel)
+	for _, row := range probe.Rows {
+		e.request(rel.HeapPage(row), false)
+		e.tuples++
+		if predsMatch(rel, row, n.Preds) {
+			e.cur[slot] = row
+			emit()
+		}
+	}
+}
+
+// outerValue resolves the probe key: column names are unique across the
+// query's relations, so the column identifies both the relation and the
+// tuple slot carrying the bound row.
+func (e *executor) outerValue(col string) int64 {
+	b, ok := e.cols[col]
+	if !ok {
+		panic("exec: no relation in plan defines column " + col)
+	}
+	return b.rel.Value(col, e.cur[b.slot])
+}
+
+// hashJoin materializes the build side (right child, a Seq Scan with its
+// predicates) into a key → rows table, then streams the outer side through
+// it. Probing is pure CPU: no page requests.
+func (e *executor) hashJoin(n *plan.Node, emit func()) {
+	build := n.Right
+	if build == nil || build.Kind != plan.KindSeqScan {
+		panic("exec: hash join requires a seq-scan build side")
+	}
+	rel := build.Rel
+	slot := e.slot(rel)
+	table := make(map[int64][]int64)
+	e.run(build, func() {
+		row := e.cur[slot]
+		k := rel.Value(n.InnerCol, row)
+		table[k] = append(table[k], row)
+	})
+	e.run(n.Left, func() {
+		k := e.outerValue(n.OuterCol)
+		for _, row := range table[k] {
+			e.cur[slot] = row
+			e.tuples++
+			emit()
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/plan"
+)
+
+// TestFilterNode exercises the Filter operator, which the planner does not
+// emit for star joins but the executor supports for hand-built plans.
+func TestFilterNode(t *testing.T) {
+	db := starDB()
+	rel := db.Relation("sales")
+	scan := &plan.Node{Kind: plan.KindSeqScan, Rel: rel}
+	filter := &plan.Node{
+		Kind:  plan.KindFilter,
+		Left:  scan,
+		Rel:   rel,
+		Preds: []plan.Pred{plan.Between("s_amount", 0, 99)},
+	}
+	root := &plan.Node{Kind: plan.KindAgg, Left: filter}
+	res := Run(root)
+	want := int64(0)
+	for row := int64(0); row < rel.Rows; row++ {
+		if rel.Value("s_amount", row) < 100 {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("Filter rows = %d, want %d", res.Rows, want)
+	}
+}
+
+// TestFilterWithoutRelation passes everything through (a residual filter
+// with no relation binding is a no-op).
+func TestFilterWithoutRelation(t *testing.T) {
+	db := starDB()
+	rel := db.Relation("sales")
+	root := &plan.Node{
+		Kind: plan.KindAgg,
+		Left: &plan.Node{
+			Kind: plan.KindFilter,
+			Left: &plan.Node{Kind: plan.KindSeqScan, Rel: rel},
+		},
+	}
+	if res := Run(root); res.Rows != rel.Rows {
+		t.Fatalf("relation-less Filter dropped rows: %d", res.Rows)
+	}
+}
+
+// TestSortNodePassthrough: Sort does not change page access order (the
+// paper's serializer skips it for the same reason), so the request stream
+// matches the plain scan.
+func TestSortNodePassthrough(t *testing.T) {
+	db := starDB()
+	rel := db.Relation("sales")
+	sorted := &plan.Node{
+		Kind: plan.KindAgg,
+		Left: &plan.Node{
+			Kind: plan.KindSort,
+			Left: &plan.Node{Kind: plan.KindSeqScan, Rel: rel},
+		},
+	}
+	plain := &plan.Node{
+		Kind: plan.KindAgg,
+		Left: &plan.Node{Kind: plan.KindSeqScan, Rel: rel},
+	}
+	a, b := Run(sorted), Run(plain)
+	if a.Rows != b.Rows || len(a.Requests) != len(b.Requests) {
+		t.Fatal("Sort changed execution")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("Sort changed page access order")
+		}
+	}
+}
+
+func TestBareIndexScanPanics(t *testing.T) {
+	db := starDB()
+	item := db.Relation("item")
+	root := &plan.Node{
+		Kind:  plan.KindIndexScan,
+		Rel:   item,
+		Index: item.IndexOn("i_sk"),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bare index scan did not panic")
+		}
+	}()
+	Run(root)
+}
+
+func TestNestedLoopWithoutIndexPanics(t *testing.T) {
+	db := starDB()
+	rel := db.Relation("sales")
+	root := &plan.Node{
+		Kind:  plan.KindNestedLoop,
+		Left:  &plan.Node{Kind: plan.KindSeqScan, Rel: rel},
+		Right: &plan.Node{Kind: plan.KindSeqScan, Rel: db.Relation("item")},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested loop without index inner did not panic")
+		}
+	}()
+	Run(root)
+}
+
+func TestHashJoinWithoutSeqBuildPanics(t *testing.T) {
+	db := starDB()
+	item := db.Relation("item")
+	root := &plan.Node{
+		Kind: plan.KindHashJoin,
+		Left: &plan.Node{Kind: plan.KindSeqScan, Rel: db.Relation("sales")},
+		Right: &plan.Node{
+			Kind: plan.KindIndexScan, Rel: item, Index: item.IndexOn("i_sk"),
+		},
+		OuterCol: "s_item_fk",
+		InnerCol: "i_sk",
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hash join with non-seq build did not panic")
+		}
+	}()
+	Run(root)
+}
+
+func TestUnknownOuterColumnPanics(t *testing.T) {
+	db := starDB()
+	item := db.Relation("item")
+	root := &plan.Node{
+		Kind: plan.KindNestedLoop,
+		Left: &plan.Node{Kind: plan.KindSeqScan, Rel: db.Relation("sales")},
+		Right: &plan.Node{
+			Kind: plan.KindIndexScan, Rel: item, Index: item.IndexOn("i_sk"),
+			OuterCol: "no_such_column",
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown probe column did not panic")
+		}
+	}()
+	Run(root)
+}

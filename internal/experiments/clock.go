@@ -1,0 +1,10 @@
+package experiments
+
+import "time"
+
+// Thin indirection over the wall clock (only used to measure model
+// train/inference cost, never simulation results).
+var (
+	timeNow   = time.Now
+	timeSince = time.Since
+)

@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate: the workload statistics of
+// Table 1, the baseline comparisons of Figures 1, 5, 6, and 9, the factor
+// analyses of Figures 7–8 and 10–11, the ablations of Figure 12a–h, and the
+// multi-query studies of Figure 13a–d. Each experiment returns a Table whose
+// rows/series correspond to the paper's plot; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: named columns and formatted rows, plus
+// the raw values for assertions in tests and benches.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Values carries machine-readable numbers keyed "row/column" for tests.
+	Values map[string]float64
+}
+
+// newTable constructs an empty table.
+func newTable(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns, Values: map[string]float64{}}
+}
+
+// addRow appends a formatted row; cells may be strings or numbers.
+func (t *Table) addRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// set records a machine-readable value for tests ("row/column" key).
+func (t *Table) set(row, col string, v float64) {
+	t.Values[row+"/"+col] = v
+}
+
+// Get returns a recorded value, panicking on unknown keys so tests fail
+// loudly on typos.
+func (t *Table) Get(row, col string) float64 {
+	v, ok := t.Values[row+"/"+col]
+	if !ok {
+		panic("experiments: no value " + row + "/" + col + " in " + t.ID)
+	}
+	return v
+}
+
+// Has reports whether a value was recorded.
+func (t *Table) Has(row, col string) bool {
+	_, ok := t.Values[row+"/"+col]
+	return ok
+}
+
+// String renders the table as aligned text, the way the harness prints it.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+// Package index implements a page-structured B+tree over int64 keys. The
+// simulator is trace-driven, so the tree's job is to produce *exactly the
+// block-access geometry* a real B+tree produces: an equality or range probe
+// descends root → internal → leaf (one page access per level), then walks
+// sibling leaves, and finally the executor fetches heap pages for the
+// matching rows in key order. Sibling leaves share their root-to-parent
+// path, which is why Algorithm 1 deduplicates traces.
+//
+// The tree is built bottom-up from the sorted (key, row) entries of a static
+// relation — the paper assumes static data — so it is perfectly balanced and
+// navigation is arithmetic: no per-node search structures are needed, yet
+// every page access is identical to a pointer-chasing implementation.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// DefaultLeafCap is the default number of (key, row) entries per leaf page,
+// roughly a Postgres 8 KiB btree leaf of int8 keys.
+const DefaultLeafCap = 256
+
+// DefaultFanout is the default number of children per internal page.
+const DefaultFanout = 256
+
+// Entry is one (key, heap row) pair.
+type Entry struct {
+	Key int64
+	Row int64
+}
+
+// BTree is a read-only B+tree over a static relation's column.
+type BTree struct {
+	obj     *storage.Object
+	leafCap int
+	fanout  int
+
+	keys []int64 // entry keys, ascending (ties broken by row)
+	rows []int64 // heap row for each entry
+
+	// levelCount[k] is the number of nodes at level k; level 0 = leaves,
+	// the last level has exactly one node (the root). levelStart[k] is the
+	// PageNum of the first node at level k; pages are numbered root-first
+	// (root = page 0), then each level downward, leaves last — so hot pages
+	// have small offsets, as in a freshly built index.
+	levelCount []int
+	levelStart []storage.PageNum
+}
+
+// Config controls tree geometry; zero fields take defaults.
+type Config struct {
+	LeafCap int
+	Fanout  int
+}
+
+// Build sorts entries by (key, row) and constructs the tree, registering its
+// pages as a new index object named name in reg. Building an index over zero
+// entries is allowed (a single empty leaf/root page).
+func Build(reg *storage.Registry, name string, entries []Entry, cfg Config) *BTree {
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = DefaultLeafCap
+	}
+	if cfg.Fanout <= 1 {
+		cfg.Fanout = DefaultFanout
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].Row < entries[j].Row
+	})
+	t := &BTree{leafCap: cfg.LeafCap, fanout: cfg.Fanout}
+	t.keys = make([]int64, len(entries))
+	t.rows = make([]int64, len(entries))
+	for i, e := range entries {
+		t.keys[i] = e.Key
+		t.rows[i] = e.Row
+	}
+
+	// Level geometry, bottom-up.
+	leaves := (len(entries) + cfg.LeafCap - 1) / cfg.LeafCap
+	if leaves == 0 {
+		leaves = 1
+	}
+	t.levelCount = []int{leaves}
+	for n := leaves; n > 1; {
+		n = (n + cfg.Fanout - 1) / cfg.Fanout
+		t.levelCount = append(t.levelCount, n)
+	}
+
+	// Page numbering: root (top level) first, then downward.
+	total := 0
+	for _, n := range t.levelCount {
+		total += n
+	}
+	t.levelStart = make([]storage.PageNum, len(t.levelCount))
+	next := storage.PageNum(0)
+	for k := len(t.levelCount) - 1; k >= 0; k-- {
+		t.levelStart[k] = next
+		next += storage.PageNum(t.levelCount[k])
+	}
+	t.obj = reg.Register(name, storage.KindIndex, storage.PageNum(total))
+	return t
+}
+
+// Object returns the index's storage object.
+func (t *BTree) Object() *storage.Object { return t.obj }
+
+// Entries returns the number of (key, row) entries.
+func (t *BTree) Entries() int { return len(t.keys) }
+
+// Height returns the number of levels (1 for a root-only tree).
+func (t *BTree) Height() int { return len(t.levelCount) }
+
+// Leaves returns the number of leaf pages.
+func (t *BTree) Leaves() int { return t.levelCount[0] }
+
+// leafPage returns the PageID of leaf node i.
+func (t *BTree) leafPage(i int) storage.PageID {
+	return storage.PageID{Object: t.obj.ID, Page: t.levelStart[0] + storage.PageNum(i)}
+}
+
+// pathToLeaf returns the root→leaf page path for leaf node i, excluding the
+// leaf itself.
+func (t *BTree) pathToLeaf(i int) []storage.PageID {
+	depth := len(t.levelCount)
+	path := make([]storage.PageID, 0, depth-1)
+	node := i
+	// Compute ancestors bottom-up, then reverse to root-first order.
+	for k := 1; k < depth; k++ {
+		node /= t.fanout
+		path = append(path, storage.PageID{
+			Object: t.obj.ID,
+			Page:   t.levelStart[k] + storage.PageNum(node),
+		})
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path
+}
+
+// lowerBound returns the first entry index with key >= k.
+func (t *BTree) lowerBound(k int64) int {
+	return sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
+}
+
+// upperBound returns the first entry index with key > k.
+func (t *BTree) upperBound(k int64) int {
+	return sort.Search(len(t.keys), func(i int) bool { return t.keys[i] > k })
+}
+
+// Probe is the result of a range scan: the exact sequence of index pages
+// touched (root→leaf descent, then sibling leaves) and the matching heap
+// rows in key order.
+type Probe struct {
+	IndexPages []storage.PageID
+	Rows       []int64
+}
+
+// Scan probes the range [lo, hi] (inclusive). Like a real B+tree it always
+// pays the root-to-leaf descent, even when the range is empty.
+func (t *BTree) Scan(lo, hi int64) Probe {
+	if lo > hi {
+		return Probe{IndexPages: append(t.pathToLeaf(0), t.leafPage(0))}
+	}
+	start := t.lowerBound(lo)
+	end := t.upperBound(hi)
+
+	firstLeaf := 0
+	if len(t.keys) > 0 {
+		i := start
+		if i >= len(t.keys) {
+			i = len(t.keys) - 1
+		}
+		firstLeaf = i / t.leafCap
+	}
+	var p Probe
+	p.IndexPages = append(t.pathToLeaf(firstLeaf), t.leafPage(firstLeaf))
+	if start < end {
+		lastLeaf := (end - 1) / t.leafCap
+		for leaf := firstLeaf + 1; leaf <= lastLeaf; leaf++ {
+			p.IndexPages = append(p.IndexPages, t.leafPage(leaf))
+		}
+		p.Rows = append(p.Rows, t.rows[start:end]...)
+	}
+	return p
+}
+
+// Lookup probes a single key (Scan(k, k)).
+func (t *BTree) Lookup(k int64) Probe { return t.Scan(k, k) }
+
+// KeyRange returns the minimum and maximum keys, or ok=false for an empty
+// tree.
+func (t *BTree) KeyRange() (min, max int64, ok bool) {
+	if len(t.keys) == 0 {
+		return 0, 0, false
+	}
+	return t.keys[0], t.keys[len(t.keys)-1], true
+}
+
+// Selectivity estimates the fraction of entries in [lo, hi]; the planner
+// uses it to choose between index and sequential scans.
+func (t *BTree) Selectivity(lo, hi int64) float64 {
+	if len(t.keys) == 0 || lo > hi {
+		return 0
+	}
+	n := t.upperBound(hi) - t.lowerBound(lo)
+	return float64(n) / float64(len(t.keys))
+}
+
+// Validate checks structural invariants; tests call it after Build.
+func (t *BTree) Validate() error {
+	for i := 1; i < len(t.keys); i++ {
+		if t.keys[i] < t.keys[i-1] {
+			return fmt.Errorf("index %s: keys out of order at %d", t.obj.Name, i)
+		}
+	}
+	if top := t.levelCount[len(t.levelCount)-1]; top != 1 {
+		return fmt.Errorf("index %s: root level has %d nodes", t.obj.Name, top)
+	}
+	for k := 0; k < len(t.levelCount)-1; k++ {
+		want := (t.levelCount[k] + t.fanout - 1) / t.fanout
+		if t.levelCount[k+1] != want {
+			return fmt.Errorf("index %s: level %d has %d nodes, want %d", t.obj.Name, k+1, t.levelCount[k+1], want)
+		}
+	}
+	total := 0
+	for _, n := range t.levelCount {
+		total += n
+	}
+	if storage.PageNum(total) != t.obj.Pages {
+		return fmt.Errorf("index %s: %d pages registered, tree has %d", t.obj.Name, t.obj.Pages, total)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func buildSeq(t *testing.T, n int, cfg Config) (*storage.Registry, *BTree) {
+	t.Helper()
+	reg := storage.NewRegistry()
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Row: int64(i)}
+	}
+	tree := Build(reg, "idx", entries, cfg)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return reg, tree
+}
+
+func TestBuildGeometry(t *testing.T) {
+	_, tree := buildSeq(t, 1000, Config{LeafCap: 10, Fanout: 10})
+	if tree.Leaves() != 100 {
+		t.Fatalf("Leaves = %d, want 100", tree.Leaves())
+	}
+	// 100 leaves / fanout 10 = 10 internals, / 10 = 1 root → height 3.
+	if tree.Height() != 3 {
+		t.Fatalf("Height = %d, want 3", tree.Height())
+	}
+	if tree.Object().Pages != 111 {
+		t.Fatalf("Pages = %d, want 111", tree.Object().Pages)
+	}
+	if tree.Entries() != 1000 {
+		t.Fatalf("Entries = %d", tree.Entries())
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	reg := storage.NewRegistry()
+	tree := Build(reg, "empty", nil, Config{LeafCap: 4, Fanout: 4})
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != 1 || tree.Leaves() != 1 {
+		t.Fatalf("empty tree geometry: h=%d leaves=%d", tree.Height(), tree.Leaves())
+	}
+	p := tree.Lookup(42)
+	if len(p.Rows) != 0 {
+		t.Fatal("lookup in empty tree returned rows")
+	}
+	if len(p.IndexPages) != 1 {
+		t.Fatalf("empty-tree probe touched %d pages, want 1 (root=leaf)", len(p.IndexPages))
+	}
+	if _, _, ok := tree.KeyRange(); ok {
+		t.Fatal("KeyRange on empty tree reported ok")
+	}
+}
+
+func TestLookupDescendsRootToLeaf(t *testing.T) {
+	_, tree := buildSeq(t, 1000, Config{LeafCap: 10, Fanout: 10})
+	p := tree.Lookup(555)
+	if len(p.Rows) != 1 || p.Rows[0] != 555 {
+		t.Fatalf("Lookup rows = %v", p.Rows)
+	}
+	if len(p.IndexPages) != 3 {
+		t.Fatalf("probe touched %d index pages, want height 3", len(p.IndexPages))
+	}
+	if p.IndexPages[0].Page != 0 {
+		t.Fatalf("probe did not start at root page 0: %v", p.IndexPages)
+	}
+	// Root page < internal page < leaf page in the root-first numbering.
+	if !(p.IndexPages[0].Page < p.IndexPages[1].Page && p.IndexPages[1].Page < p.IndexPages[2].Page) {
+		t.Fatalf("descent pages not in root-first order: %v", p.IndexPages)
+	}
+}
+
+func TestSiblingLeavesSharePath(t *testing.T) {
+	_, tree := buildSeq(t, 1000, Config{LeafCap: 10, Fanout: 10})
+	a := tree.Lookup(100) // leaf 10
+	b := tree.Lookup(105) // same leaf
+	for i := range a.IndexPages {
+		if a.IndexPages[i] != b.IndexPages[i] {
+			t.Fatalf("same-leaf probes diverge: %v vs %v", a.IndexPages, b.IndexPages)
+		}
+	}
+	c := tree.Lookup(109)
+	d := tree.Lookup(110) // adjacent leaf, same parent
+	if c.IndexPages[1] != d.IndexPages[1] {
+		t.Fatalf("adjacent leaves should share internal page: %v vs %v", c.IndexPages, d.IndexPages)
+	}
+	if c.IndexPages[2] == d.IndexPages[2] {
+		t.Fatal("adjacent keys in different leaves mapped to same leaf page")
+	}
+}
+
+func TestRangeScanWalksSiblingLeaves(t *testing.T) {
+	_, tree := buildSeq(t, 1000, Config{LeafCap: 10, Fanout: 10})
+	p := tree.Scan(95, 124)
+	if len(p.Rows) != 30 {
+		t.Fatalf("Scan returned %d rows, want 30", len(p.Rows))
+	}
+	for i, r := range p.Rows {
+		if r != int64(95+i) {
+			t.Fatalf("rows not in key order: %v", p.Rows[:5])
+		}
+	}
+	// Descent (3 pages incl. first leaf) + 3 more leaves (keys 95..124 span
+	// leaves 9,10,11,12).
+	if len(p.IndexPages) != 6 {
+		t.Fatalf("Scan touched %d index pages, want 6: %v", len(p.IndexPages), p.IndexPages)
+	}
+}
+
+func TestEmptyRangeStillPaysDescent(t *testing.T) {
+	_, tree := buildSeq(t, 100, Config{LeafCap: 10, Fanout: 10})
+	p := tree.Scan(5000, 6000)
+	if len(p.Rows) != 0 {
+		t.Fatal("out-of-range scan returned rows")
+	}
+	if len(p.IndexPages) != tree.Height() {
+		t.Fatalf("empty probe touched %d pages, want height %d", len(p.IndexPages), tree.Height())
+	}
+	// Inverted range.
+	p = tree.Scan(10, 5)
+	if len(p.Rows) != 0 || len(p.IndexPages) != tree.Height() {
+		t.Fatalf("inverted range probe: %d rows, %d pages", len(p.Rows), len(p.IndexPages))
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	reg := storage.NewRegistry()
+	entries := make([]Entry, 100)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i % 10), Row: int64(i)}
+	}
+	tree := Build(reg, "dup", entries, Config{LeafCap: 8, Fanout: 4})
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := tree.Lookup(3)
+	if len(p.Rows) != 10 {
+		t.Fatalf("Lookup(3) returned %d rows, want 10", len(p.Rows))
+	}
+	for i := 1; i < len(p.Rows); i++ {
+		if p.Rows[i] <= p.Rows[i-1] {
+			t.Fatal("duplicate-key rows not in row order")
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	_, tree := buildSeq(t, 1000, Config{LeafCap: 10, Fanout: 10})
+	if s := tree.Selectivity(0, 999); s != 1 {
+		t.Fatalf("full-range selectivity = %f", s)
+	}
+	if s := tree.Selectivity(0, 99); s != 0.1 {
+		t.Fatalf("10%% selectivity = %f", s)
+	}
+	if s := tree.Selectivity(10, 5); s != 0 {
+		t.Fatalf("inverted selectivity = %f", s)
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	reg := storage.NewRegistry()
+	tree := Build(reg, "k", []Entry{{Key: 7, Row: 0}, {Key: -3, Row: 1}, {Key: 12, Row: 2}}, Config{})
+	min, max, ok := tree.KeyRange()
+	if !ok || min != -3 || max != 12 {
+		t.Fatalf("KeyRange = %d,%d,%v", min, max, ok)
+	}
+}
+
+// Property: Scan(lo,hi) returns exactly the rows whose keys fall in [lo,hi],
+// in key order, for arbitrary key multisets.
+func TestScanMatchesLinearFilter(t *testing.T) {
+	if err := quick.Check(func(seed uint64, loRaw, hiRaw int16) bool {
+		r := sim.NewRand(seed)
+		n := 1 + r.Intn(500)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: int64(r.Intn(200) - 100), Row: int64(i)}
+		}
+		reg := storage.NewRegistry()
+		tree := Build(reg, "q", append([]Entry(nil), entries...), Config{LeafCap: 7, Fanout: 3})
+		if tree.Validate() != nil {
+			return false
+		}
+		lo, hi := int64(loRaw%150), int64(hiRaw%150)
+		p := tree.Scan(lo, hi)
+		want := map[int64]int{}
+		count := 0
+		for _, e := range entries {
+			if e.Key >= lo && e.Key <= hi {
+				want[e.Row]++
+				count++
+			}
+		}
+		if len(p.Rows) != count {
+			return false
+		}
+		for _, row := range p.Rows {
+			if want[row] == 0 {
+				return false
+			}
+			want[row]--
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every probe touches exactly Height() pages for the descent plus
+// one page per extra leaf spanned, and all pages are within the object.
+func TestProbePagesInBounds(t *testing.T) {
+	_, tree := buildSeq(t, 5000, Config{LeafCap: 16, Fanout: 8})
+	obj := tree.Object()
+	for lo := int64(0); lo < 5000; lo += 321 {
+		p := tree.Scan(lo, lo+200)
+		for _, pg := range p.IndexPages {
+			if pg.Object != obj.ID || pg.Page >= obj.Pages {
+				t.Fatalf("probe page out of bounds: %v", pg)
+			}
+		}
+		if len(p.IndexPages) < tree.Height() {
+			t.Fatalf("probe shorter than height: %d", len(p.IndexPages))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func pg(o, n uint32) storage.PageID {
+	return storage.PageID{Object: storage.ObjectID(o), Page: storage.PageNum(n)}
+}
+
+func smallCfg() Config {
+	c := DefaultConfig()
+	c.Dim = 16
+	c.Heads = 2
+	c.Layers = 1
+	c.DecoderHidden = 32
+	c.Epochs = 120
+	c.LR = 5e-3
+	return c
+}
+
+// Two query "types" with disjoint page sets: the model must learn the
+// mapping and generalize it to a repeated token pattern.
+func trainingFixture() (labels []storage.PageID, samples []Sample) {
+	for i := uint32(0); i < 20; i++ {
+		labels = append(labels, pg(1, i))
+	}
+	// Token id 5 ↔ pages {0..4}; token id 9 ↔ pages {10..14}. A shared
+	// prefix token 2 plays the role of structural plan tokens.
+	for rep := 0; rep < 6; rep++ {
+		samples = append(samples,
+			Sample{TokenIDs: []int{2, 5, 3}, Pages: []storage.PageID{pg(1, 0), pg(1, 1), pg(1, 2), pg(1, 3), pg(1, 4)}},
+			Sample{TokenIDs: []int{2, 9, 3}, Pages: []storage.PageID{pg(1, 10), pg(1, 11), pg(1, 12), pg(1, 13), pg(1, 14)}},
+		)
+	}
+	return labels, samples
+}
+
+func TestModelLearnsPageSets(t *testing.T) {
+	labels, samples := trainingFixture()
+	m := New(12, labels, smallCfg())
+	loss := m.Train(samples)
+	if loss > 0.2 {
+		t.Fatalf("training loss did not collapse: %f", loss)
+	}
+	got := m.Predict([]int{2, 5, 3})
+	want := map[storage.PageID]bool{pg(1, 0): true, pg(1, 1): true, pg(1, 2): true, pg(1, 3): true, pg(1, 4): true}
+	if len(got) != len(want) {
+		t.Fatalf("Predict = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("Predict included wrong page %v", p)
+		}
+	}
+}
+
+func TestPredictReturnsSortedLabels(t *testing.T) {
+	labels, samples := trainingFixture()
+	m := New(12, labels, smallCfg())
+	m.Train(samples)
+	got := m.Predict([]int{2, 9, 3})
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("predictions not in file-storage order: %v", got)
+		}
+	}
+}
+
+func TestScoresInRange(t *testing.T) {
+	labels, _ := trainingFixture()
+	m := New(12, labels, smallCfg())
+	scores := m.Scores([]int{2, 5, 3})
+	if len(scores) != len(labels) {
+		t.Fatal("score length mismatch")
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score %f out of range", s)
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	labels, samples := trainingFixture()
+	cfg := smallCfg()
+	cfg.Epochs = 10
+	a := New(12, labels, cfg)
+	b := New(12, labels, cfg)
+	if a.Train(samples) != b.Train(samples) {
+		t.Fatal("training not deterministic")
+	}
+}
+
+func TestTargetsIgnoreForeignPages(t *testing.T) {
+	labels := []storage.PageID{pg(1, 0), pg(1, 1)}
+	m := New(12, labels, smallCfg())
+	tg := m.targets([]storage.PageID{pg(1, 1), pg(2, 7), pg(1, 99)})
+	if tg[0] != 0 || tg[1] != 1 {
+		t.Fatalf("targets = %v", tg)
+	}
+}
+
+func TestEmptyLabelSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty label space did not panic")
+		}
+	}()
+	New(12, nil, smallCfg())
+}
+
+func TestParamCountPositiveAndScales(t *testing.T) {
+	labels := make([]storage.PageID, 50)
+	for i := range labels {
+		labels[i] = pg(1, uint32(i))
+	}
+	small := New(12, labels[:10], smallCfg())
+	large := New(12, labels, smallCfg())
+	if small.ParamCount() <= 0 || large.ParamCount() <= small.ParamCount() {
+		t.Fatalf("ParamCount: small=%d large=%d", small.ParamCount(), large.ParamCount())
+	}
+}
+
+func TestObjectLabels(t *testing.T) {
+	reg := storage.NewRegistry()
+	obj := reg.Register("t", storage.KindTable, 5)
+	labels := ObjectLabels(obj)
+	if len(labels) != 5 || labels[4] != (storage.PageID{Object: obj.ID, Page: 4}) {
+		t.Fatalf("ObjectLabels = %v", labels)
+	}
+}
+
+func TestPartitionLabels(t *testing.T) {
+	reg := storage.NewRegistry()
+	obj := reg.Register("t", storage.KindTable, 10)
+	parts := PartitionLabels(obj, 4)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(parts))
+	}
+	if len(parts[0]) != 4 || len(parts[2]) != 2 {
+		t.Fatalf("partition sizes wrong: %d,%d,%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	total := 0
+	seen := map[storage.PageID]bool{}
+	for _, p := range parts {
+		for _, l := range p {
+			if seen[l] {
+				t.Fatal("page appears in two partitions")
+			}
+			seen[l] = true
+			total++
+		}
+	}
+	if total != 10 {
+		t.Fatalf("partitions cover %d pages", total)
+	}
+	// maxPages <= 0 → single partition.
+	if got := PartitionLabels(obj, 0); len(got) != 1 || len(got[0]) != 10 {
+		t.Fatal("unpartitioned labels wrong")
+	}
+}
+
+func TestTopKLabels(t *testing.T) {
+	samples := []Sample{
+		{Pages: []storage.PageID{pg(1, 0), pg(1, 1)}},
+		{Pages: []storage.PageID{pg(1, 0), pg(1, 2)}},
+		{Pages: []storage.PageID{pg(1, 0), pg(2, 5)}}, // other object ignored
+	}
+	top := TopKLabels(samples, 1, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if top[0] != pg(1, 0) {
+		t.Fatalf("most frequent page missing: %v", top)
+	}
+	for _, p := range top {
+		if p.Object != 1 {
+			t.Fatal("foreign object leaked into top-k")
+		}
+	}
+	// k larger than distinct pages → all of them.
+	if got := TopKLabels(samples, 1, 100); len(got) != 3 {
+		t.Fatalf("overlarge k = %v", got)
+	}
+}
+
+func TestCombinedLabels(t *testing.T) {
+	reg := storage.NewRegistry()
+	a := reg.Register("a", storage.KindTable, 3)
+	b := reg.Register("b", storage.KindIndex, 2)
+	labels := CombinedLabels(a, b)
+	if len(labels) != 5 {
+		t.Fatalf("CombinedLabels = %v", labels)
+	}
+	if labels[0].Object != a.ID || labels[4].Object != b.ID {
+		t.Fatal("combined order wrong")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (Config{}).withDefaults()
+	if c.Dim == 0 || c.Epochs == 0 || c.LR == 0 || c.Threshold == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	p := PaperConfig()
+	if p.Dim != 100 || p.Heads != 10 || p.DecoderHidden != 800 || p.Layers != 2 {
+		t.Fatalf("PaperConfig deviates from §5.1: %+v", p)
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter set.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64 // global gradient-norm clip; 0 disables
+	params []*Param
+	t      int
+}
+
+// NewAdam returns an optimizer with the usual defaults (lr as given,
+// β1=0.9, β2=0.999, ε=1e-8) over params.
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+}
+
+// ZeroGrad clears every parameter's gradient.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (a *Adam) GradNorm() float64 {
+	s := 0.0
+	for _, p := range a.params {
+		for _, g := range p.G.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update using the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	scale := 1.0
+	if a.Clip > 0 {
+		if norm := a.GradNorm(); norm > a.Clip {
+			scale = a.Clip / norm
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.params {
+		w, g := p.W.Data, p.G.Data
+		m, v := p.adamM.Data, p.adamV.Data
+		for i := range w {
+			gi := g[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			w[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// ParamCount returns the total number of scalar parameters — the harness
+// reports it as "model size", matching the paper's model-size discussion.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W.Data)
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/pythia-db/pythia/internal/sim"
+)
+
+// MHSA is multi-head self-attention (Vaswani et al.): per head h,
+// Attention(Qh, Kh, Vh) = softmax(Qh Khᵀ / √dₕ) Vh, heads concatenated and
+// projected. Pythia's encoder stacks two of these with 10 heads at model
+// dimension 100 (paper §5.1); the experiment configs scale the dimensions
+// down but keep the architecture.
+type MHSA struct {
+	D, H, Dh int
+	Wq, Wk   *Linear
+	Wv, Wo   *Linear
+
+	// caches for backward
+	q, k, v *Mat
+	attn    []*Mat // per-head attention probabilities (n×n)
+	concat  *Mat
+}
+
+// NewMHSA builds an attention block. D must be divisible by H.
+func NewMHSA(name string, d, heads int, r *sim.Rand) *MHSA {
+	if heads <= 0 || d%heads != 0 {
+		panic("nn: model dim must be divisible by head count")
+	}
+	return &MHSA{
+		D: d, H: heads, Dh: d / heads,
+		Wq: NewLinear(name+".q", d, d, r),
+		Wk: NewLinear(name+".k", d, d, r),
+		Wv: NewLinear(name+".v", d, d, r),
+		Wo: NewLinear(name+".o", d, d, r),
+	}
+}
+
+// Params returns all projection parameters.
+func (a *MHSA) Params() []*Param {
+	var out []*Param
+	for _, l := range []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// headView returns the n×Dh slice of m for head h as a fresh matrix.
+func (a *MHSA) headView(m *Mat, h int) *Mat {
+	out := NewMat(m.Rows, a.Dh)
+	off := h * a.Dh
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[off:off+a.Dh])
+	}
+	return out
+}
+
+// headAccum adds src (n×Dh) into dst's columns for head h.
+func (a *MHSA) headAccum(dst, src *Mat, h int) {
+	off := h * a.Dh
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)[off : off+a.Dh]
+		srow := src.Row(i)
+		for j := range srow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// Forward computes self-attention over the n×D sequence x.
+func (a *MHSA) Forward(x *Mat) *Mat {
+	a.q = a.Wq.Forward(x)
+	a.k = a.Wk.Forward(x)
+	a.v = a.Wv.Forward(x)
+	n := x.Rows
+	a.attn = make([]*Mat, a.H)
+	a.concat = NewMat(n, a.D)
+	scale := 1 / math.Sqrt(float64(a.Dh))
+	for h := 0; h < a.H; h++ {
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+		vh := a.headView(a.v, h)
+		scores := MatMulT2(qh, kh).Scale(scale) // n×n
+		scores.SoftmaxRows()
+		a.attn[h] = scores
+		oh := MatMul(scores, vh)
+		a.headAccum(a.concat, oh, h)
+	}
+	return a.Wo.Forward(a.concat)
+}
+
+// Backward propagates dY through the attention block and returns dX.
+func (a *MHSA) Backward(dy *Mat) *Mat {
+	dConcat := a.Wo.Backward(dy)
+	n := dy.Rows
+	dq := NewMat(n, a.D)
+	dk := NewMat(n, a.D)
+	dv := NewMat(n, a.D)
+	scale := 1 / math.Sqrt(float64(a.Dh))
+	for h := 0; h < a.H; h++ {
+		doh := a.headView(dConcat, h)
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+		vh := a.headView(a.v, h)
+		attn := a.attn[h]
+
+		dvh := MatMulT1(attn, doh) // n×Dh
+		dattn := MatMulT2(doh, vh) // n×n
+		// Softmax backward, row-wise: dS = A ⊙ (dA − Σⱼ dAⱼAⱼ).
+		dscores := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			arow := attn.Row(i)
+			darow := dattn.Row(i)
+			dot := 0.0
+			for j := range arow {
+				dot += arow[j] * darow[j]
+			}
+			dsrow := dscores.Row(i)
+			for j := range arow {
+				dsrow[j] = arow[j] * (darow[j] - dot)
+			}
+		}
+		dscores.Scale(scale)
+		dqh := MatMul(dscores, kh)   // n×Dh
+		dkh := MatMulT1(dscores, qh) // n×Dh
+		a.headAccum(dq, dqh, h)
+		a.headAccum(dk, dkh, h)
+		a.headAccum(dv, dvh, h)
+	}
+	dx := a.Wq.Backward(dq)
+	AddInPlace(dx, a.Wk.Backward(dk))
+	AddInPlace(dx, a.Wv.Backward(dv))
+	return dx
+}

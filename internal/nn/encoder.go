@@ -1,0 +1,149 @@
+package nn
+
+import "github.com/pythia-db/pythia/internal/sim"
+
+// FFN is the transformer's position-wise feed-forward block:
+// Linear → ReLU → Linear.
+type FFN struct {
+	L1, L2 *Linear
+	relu   ReLU
+}
+
+// NewFFN builds the block with the given hidden width.
+func NewFFN(name string, d, hidden int, r *sim.Rand) *FFN {
+	return &FFN{
+		L1: NewLinear(name+".ffn1", d, hidden, r),
+		L2: NewLinear(name+".ffn2", hidden, d, r),
+	}
+}
+
+// Params returns both linear layers' parameters.
+func (f *FFN) Params() []*Param {
+	return append(f.L1.Params(), f.L2.Params()...)
+}
+
+// Forward applies the block.
+func (f *FFN) Forward(x *Mat) *Mat {
+	return f.L2.Forward(f.relu.Forward(f.L1.Forward(x)))
+}
+
+// Backward returns dX.
+func (f *FFN) Backward(dy *Mat) *Mat {
+	return f.L1.Backward(f.relu.Backward(f.L2.Backward(dy)))
+}
+
+// EncoderLayer is one post-norm transformer encoder layer:
+// x ← LN1(x + MHSA(x)); x ← LN2(x + FFN(x)).
+type EncoderLayer struct {
+	Attn *MHSA
+	FF   *FFN
+	LN1  *LayerNorm
+	LN2  *LayerNorm
+}
+
+// NewEncoderLayer builds one layer.
+func NewEncoderLayer(name string, d, heads, ffHidden int, r *sim.Rand) *EncoderLayer {
+	return &EncoderLayer{
+		Attn: NewMHSA(name+".attn", d, heads, r),
+		FF:   NewFFN(name, d, ffHidden, r),
+		LN1:  NewLayerNorm(name+".ln1", d),
+		LN2:  NewLayerNorm(name+".ln2", d),
+	}
+}
+
+// Params returns all the layer's parameters.
+func (e *EncoderLayer) Params() []*Param {
+	var out []*Param
+	out = append(out, e.Attn.Params()...)
+	out = append(out, e.FF.Params()...)
+	out = append(out, e.LN1.Params()...)
+	out = append(out, e.LN2.Params()...)
+	return out
+}
+
+// Forward runs the layer over an n×D sequence.
+func (e *EncoderLayer) Forward(x *Mat) *Mat {
+	h := e.LN1.Forward(Add(x, e.Attn.Forward(x)))
+	return e.LN2.Forward(Add(h, e.FF.Forward(h)))
+}
+
+// Backward returns dX.
+func (e *EncoderLayer) Backward(dy *Mat) *Mat {
+	d2 := e.LN2.Backward(dy)
+	dh := Add(d2, e.FF.Backward(d2))
+	d1 := e.LN1.Backward(dh)
+	return Add(d1, e.Attn.Backward(d1))
+}
+
+// Encoder is Pythia's query encoder: token embedding + sinusoidal positions,
+// a stack of encoder layers, and the *last token's* embedding as the query
+// representation ("we use ... finally the last token's embedding as the
+// final query representation", paper §3.3).
+type Encoder struct {
+	Emb    *Embedding
+	Layers []*EncoderLayer
+	D      int
+
+	lastSeqLen int
+}
+
+// EncoderConfig sizes the encoder. The paper's configuration is Dim 100,
+// Heads 10, Layers 2.
+type EncoderConfig struct {
+	Vocab    int
+	Dim      int
+	Heads    int
+	Layers   int
+	FFHidden int // defaults to 4×Dim
+}
+
+// NewEncoder builds the encoder.
+func NewEncoder(cfg EncoderConfig, r *sim.Rand) *Encoder {
+	if cfg.FFHidden <= 0 {
+		cfg.FFHidden = 4 * cfg.Dim
+	}
+	enc := &Encoder{
+		Emb: NewEmbedding("enc", cfg.Vocab, cfg.Dim, r),
+		D:   cfg.Dim,
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		enc.Layers = append(enc.Layers, NewEncoderLayer("enc.l"+string(rune('0'+i)), cfg.Dim, cfg.Heads, cfg.FFHidden, r))
+	}
+	return enc
+}
+
+// Params returns every parameter in the encoder.
+func (e *Encoder) Params() []*Param {
+	out := append([]*Param{}, e.Emb.Params()...)
+	for _, l := range e.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Forward encodes a token-id sequence into a 1×D query representation.
+func (e *Encoder) Forward(ids []int) *Mat {
+	if len(ids) == 0 {
+		panic("nn: encoding empty sequence")
+	}
+	e.lastSeqLen = len(ids)
+	x := e.Emb.Forward(ids)
+	AddPositional(x)
+	for _, l := range e.Layers {
+		x = l.Forward(x)
+	}
+	out := NewMat(1, e.D)
+	copy(out.Row(0), x.Row(x.Rows-1))
+	return out
+}
+
+// Backward propagates the 1×D representation gradient back through the
+// stack into the embedding table.
+func (e *Encoder) Backward(dRep *Mat) {
+	dx := NewMat(e.lastSeqLen, e.D)
+	copy(dx.Row(e.lastSeqLen-1), dRep.Row(0))
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		dx = e.Layers[i].Backward(dx)
+	}
+	e.Emb.Backward(dx)
+}

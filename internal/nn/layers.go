@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/pythia-db/pythia/internal/sim"
+)
+
+// Param is one learnable tensor with its gradient accumulator and Adam
+// moment estimates.
+type Param struct {
+	Name  string
+	W, G  *Mat
+	adamM *Mat
+	adamV *Mat
+}
+
+// NewParam allocates a parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		W:     NewMat(rows, cols),
+		G:     NewMat(rows, cols),
+		adamM: NewMat(rows, cols),
+		adamV: NewMat(rows, cols),
+	}
+}
+
+// XavierInit fills the parameter with Glorot-uniform values.
+func (p *Param) XavierInit(r *sim.Rand) {
+	limit := math.Sqrt(6.0 / float64(p.W.Rows+p.W.Cols))
+	for i := range p.W.Data {
+		p.W.Data[i] = (2*r.Float64() - 1) * limit
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Module is anything owning parameters; the optimizer walks Params().
+type Module interface {
+	Params() []*Param
+}
+
+// Linear is a fully connected layer Y = X W + b.
+type Linear struct {
+	In, Out int
+	Weight  *Param // In×Out
+	Bias    *Param // 1×Out
+
+	x *Mat // cached input for backward
+}
+
+// NewLinear builds a Xavier-initialized linear layer.
+func NewLinear(name string, in, out int, r *sim.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		Weight: NewParam(name+".w", in, out),
+		Bias:   NewParam(name+".b", 1, out),
+	}
+	l.Weight.XavierInit(r)
+	return l
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward computes X W + b, caching X for Backward.
+func (l *Linear) Forward(x *Mat) *Mat {
+	l.x = x
+	y := MatMul(x, l.Weight.W)
+	y.AddRowVec(l.Bias.W.Data)
+	return y
+}
+
+// Backward accumulates dW, db and returns dX. The weight gradient is
+// accumulated in place (dW += xᵀ dy) rather than through a temporary
+// matrix: for wide output layers (the per-page decoder head) the temporary
+// would allocate In×Out floats per training step, dominating runtime via
+// the garbage collector.
+func (l *Linear) Backward(dy *Mat) *Mat {
+	shapeCheck(l.x.Rows == dy.Rows, "linear backward", l.x, dy)
+	wg := l.Weight.G
+	for r := 0; r < l.x.Rows; r++ {
+		xrow := l.x.Row(r)
+		dyrow := dy.Row(r)
+		for i, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			grow := wg.Row(i)
+			for j, dv := range dyrow {
+				grow[j] += xv * dv
+			}
+		}
+	}
+	bg := l.Bias.G.Data
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			bg[j] += row[j]
+		}
+	}
+	return MatMulT2(dy, l.Weight.W)
+}
+
+// Embedding maps token ids to D-dimensional vectors.
+type Embedding struct {
+	V, D  int
+	Table *Param // V×D
+
+	ids []int // cached for backward
+}
+
+// NewEmbedding builds an embedding table with small-normal init.
+func NewEmbedding(name string, vocab, dim int, r *sim.Rand) *Embedding {
+	e := &Embedding{V: vocab, D: dim, Table: NewParam(name+".emb", vocab, dim)}
+	for i := range e.Table.W.Data {
+		e.Table.W.Data[i] = r.NormFloat64() * 0.02
+	}
+	return e
+}
+
+// Params returns the table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Forward gathers the rows for ids into an n×D matrix.
+func (e *Embedding) Forward(ids []int) *Mat {
+	e.ids = ids
+	out := NewMat(len(ids), e.D)
+	for i, id := range ids {
+		if id < 0 || id >= e.V {
+			panic("nn: embedding id out of range")
+		}
+		copy(out.Row(i), e.Table.W.Row(id))
+	}
+	return out
+}
+
+// Backward scatters the output gradient back into the used rows.
+func (e *Embedding) Backward(dy *Mat) {
+	for i, id := range e.ids {
+		grow := e.Table.G.Row(id)
+		drow := dy.Row(i)
+		for j := range drow {
+			grow[j] += drow[j]
+		}
+	}
+}
+
+// AddPositional adds sinusoidal position encodings (Vaswani et al.) to x in
+// place — "the serialized query tokens are first appended with sequence
+// information to be used by a transformer" (paper §5.1).
+func AddPositional(x *Mat) {
+	d := x.Cols
+	for pos := 0; pos < x.Rows; pos++ {
+		row := x.Row(pos)
+		for j := 0; j < d; j++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(j/2))/float64(d))
+			if j%2 == 0 {
+				row[j] += math.Sin(angle)
+			} else {
+				row[j] += math.Cos(angle)
+			}
+		}
+	}
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance, then applies a
+// learned gain and bias.
+type LayerNorm struct {
+	D    int
+	Gain *Param // 1×D
+	Bias *Param // 1×D
+
+	x     *Mat
+	xhat  *Mat
+	invSD []float64
+}
+
+const lnEps = 1e-5
+
+// NewLayerNorm builds a layer norm with unit gain and zero bias.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{D: d, Gain: NewParam(name+".g", 1, d), Bias: NewParam(name+".b", 1, d)}
+	for i := range ln.Gain.W.Data {
+		ln.Gain.W.Data[i] = 1
+	}
+	return ln
+}
+
+// Params returns gain and bias.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gain, ln.Bias} }
+
+// Forward normalizes each row.
+func (ln *LayerNorm) Forward(x *Mat) *Mat {
+	ln.x = x
+	ln.xhat = NewMat(x.Rows, x.Cols)
+	ln.invSD = make([]float64, x.Rows)
+	out := NewMat(x.Rows, x.Cols)
+	g, b := ln.Gain.W.Data, ln.Bias.W.Data
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(row))
+		inv := 1 / math.Sqrt(variance+lnEps)
+		ln.invSD[i] = inv
+		xh := ln.xhat.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			orow[j] = xh[j]*g[j] + b[j]
+		}
+	}
+	return out
+}
+
+// Backward returns dX and accumulates gain/bias gradients.
+func (ln *LayerNorm) Backward(dy *Mat) *Mat {
+	dx := NewMat(dy.Rows, dy.Cols)
+	g := ln.Gain.W.Data
+	gg, bg := ln.Gain.G.Data, ln.Bias.G.Data
+	n := float64(dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xh := ln.xhat.Row(i)
+		// Accumulate parameter grads.
+		for j, d := range dyr {
+			gg[j] += d * xh[j]
+			bg[j] += d
+		}
+		// dxhat = dy * g; dx = invSD*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
+		var sum1, sum2 float64
+		dxh := make([]float64, dy.Cols)
+		for j, d := range dyr {
+			dxh[j] = d * g[j]
+			sum1 += dxh[j]
+			sum2 += dxh[j] * xh[j]
+		}
+		inv := ln.invSD[i]
+		dxr := dx.Row(i)
+		for j := range dxr {
+			dxr[j] = inv * (dxh[j] - sum1/n - xh[j]*sum2/n)
+		}
+	}
+	return dx
+}
+
+// ReLU is the rectifier with cached mask.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negatives.
+func (r *ReLU) Forward(x *Mat) *Mat {
+	out := NewMat(x.Rows, x.Cols)
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient through the cached mask.
+func (r *ReLU) Backward(dy *Mat) *Mat {
+	dx := NewMat(dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/sim"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := sim.NewRand(4)
+	enc := NewEncoder(EncoderConfig{Vocab: 10, Dim: 8, Heads: 2, Layers: 1}, r)
+	dec := NewDecoder("d", 8, 8, 4, r)
+	params := append(enc.Params(), dec.Params()...)
+	before := dec.Forward(enc.Forward([]int{1, 2, 3})).Clone()
+
+	snap := Snapshot(params)
+
+	// Perturb everything, then restore.
+	for _, p := range params {
+		for i := range p.W.Data {
+			p.W.Data[i] += 1.5
+		}
+	}
+	if err := Restore(params, snap); err != nil {
+		t.Fatal(err)
+	}
+	after := dec.Forward(enc.Forward([]int{1, 2, 3}))
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("restore did not reproduce outputs exactly")
+		}
+	}
+	// Snapshot must be a copy, not an alias.
+	snap2 := Snapshot(params)
+	params[0].W.Data[0] += 7
+	for name := range snap2 {
+		_ = name
+	}
+	if snap2[params[0].Name][0] == params[0].W.Data[0] {
+		t.Fatal("snapshot aliases live weights")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	r := sim.NewRand(4)
+	l := NewLinear("x", 2, 2, r)
+	if err := Restore(l.Params(), map[string][]float64{}); err == nil {
+		t.Fatal("missing parameter did not error")
+	}
+	if err := Restore(l.Params(), map[string][]float64{
+		"x.w": {1}, "x.b": {0, 0},
+	}); err == nil {
+		t.Fatal("size mismatch did not error")
+	}
+}
+
+func TestSnapshotDuplicateNamePanics(t *testing.T) {
+	a := NewParam("same", 1, 1)
+	b := NewParam("same", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	Snapshot([]*Param{a, b})
+}
+
+func TestRestoreResetsOptimizerState(t *testing.T) {
+	r := sim.NewRand(4)
+	l := NewLinear("x", 2, 2, r)
+	opt := NewAdam(0.1, l.Params())
+	l.Weight.G.Data[0] = 1
+	opt.Step()
+	snap := Snapshot(l.Params())
+	if err := Restore(l.Params(), snap); err != nil {
+		t.Fatal(err)
+	}
+	if l.Weight.adamM.Norm() != 0 || l.Weight.adamV.Norm() != 0 {
+		t.Fatal("Adam moments survived restore")
+	}
+	if l.Weight.G.Norm() != 0 {
+		t.Fatal("gradient survived restore")
+	}
+}

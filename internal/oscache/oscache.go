@@ -1,0 +1,186 @@
+// Package oscache models the operating system page cache that sits between
+// the RDBMS buffer pool and the disk. Postgres "relies heavily on OS
+// readahead for achieving better performance" (paper §4): sequential reads
+// are detected per open stream and the kernel asynchronously fetches a
+// growing window of subsequent blocks, so a sequential scan's reads become
+// memory copies instead of disk copies.
+//
+// The cache is an LRU over OS pages. Readahead is per-Stream (per file
+// descriptor in the kernel): a reader that touches block n+1 right after
+// block n extends a run, and each run doubles its readahead window up to a
+// maximum, like Linux's ondemand readahead. Pythia's prefetcher issues its
+// reads in file-storage order precisely so that this machinery turns many of
+// its prefetches into cache copies.
+package oscache
+
+import (
+	"container/list"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// DefaultMaxWindow is the default readahead ceiling in pages (128 KiB of
+// 8 KiB pages, the common Linux default for readahead size).
+const DefaultMaxWindow = 16
+
+// Stats counts OS cache events.
+type Stats struct {
+	Hits            uint64 // reads served from the page cache
+	Misses          uint64 // reads that went to the device
+	ReadaheadPages  uint64 // pages fetched asynchronously by readahead
+	ReadaheadBursts uint64 // readahead operations issued
+	Evictions       uint64
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when idle.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stream is one reader's sequential-access detector (the analog of a file
+// descriptor's readahead state). Each scan node and each prefetch worker
+// owns its own Stream.
+type Stream struct {
+	object storage.ObjectID
+	last   storage.PageNum
+	valid  bool
+	window int
+}
+
+// Cache is the OS page cache. The zero value is unusable; construct with
+// New.
+type Cache struct {
+	capacity  int
+	maxWindow int
+	pages     map[storage.PageID]*list.Element
+	lru       *list.List // front = most recently used
+	stats     Stats
+}
+
+// New returns a cache holding capacity pages with the given maximum
+// readahead window (DefaultMaxWindow if maxWindow <= 0).
+func New(capacity int, maxWindow int) *Cache {
+	if capacity <= 0 {
+		panic("oscache: non-positive capacity")
+	}
+	if maxWindow <= 0 {
+		maxWindow = DefaultMaxWindow
+	}
+	return &Cache{
+		capacity:  capacity,
+		maxWindow: maxWindow,
+		pages:     make(map[storage.PageID]*list.Element, capacity),
+		lru:       list.New(),
+	}
+}
+
+// NewStream returns a fresh readahead detector.
+func (c *Cache) NewStream() *Stream { return &Stream{} }
+
+// Cap returns the cache capacity in pages.
+func (c *Cache) Cap() int { return c.capacity }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Contains reports residency without side effects.
+func (c *Cache) Contains(p storage.PageID) bool {
+	_, ok := c.pages[p]
+	return ok
+}
+
+// Read performs one page read through stream s. objPages bounds readahead to
+// the object's file size. It returns whether the read hit the cache and the
+// pages the kernel fetches asynchronously via readahead (already inserted
+// into the cache; the caller charges their device time in the background).
+func (c *Cache) Read(s *Stream, p storage.PageID, objPages storage.PageNum) (hit bool, readahead []storage.PageID) {
+	sequential := s.valid && s.object == p.Object && p.Page == s.last+1
+	if sequential {
+		// Extend the run: double the window up to the ceiling.
+		s.window *= 2
+		if s.window > c.maxWindow {
+			s.window = c.maxWindow
+		}
+	} else {
+		// New or broken run: minimal window (one page of lookahead) so a
+		// run that restarts can grow again.
+		s.window = 1
+	}
+	s.object, s.last, s.valid = p.Object, p.Page, true
+
+	hit = c.touchOrMiss(p)
+
+	if sequential && s.window > 0 {
+		for i := 1; i <= s.window; i++ {
+			n := p.Page + storage.PageNum(i)
+			if n >= objPages {
+				break
+			}
+			ra := storage.PageID{Object: p.Object, Page: n}
+			if c.Contains(ra) {
+				continue
+			}
+			c.insert(ra)
+			readahead = append(readahead, ra)
+		}
+		if len(readahead) > 0 {
+			c.stats.ReadaheadBursts++
+			c.stats.ReadaheadPages += uint64(len(readahead))
+		}
+	}
+	return hit, readahead
+}
+
+// touchOrMiss looks the page up, bumping recency on a hit and inserting on a
+// miss (a device read always populates the cache).
+func (c *Cache) touchOrMiss(p storage.PageID) bool {
+	if e, ok := c.pages[p]; ok {
+		c.lru.MoveToFront(e)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	c.insert(p)
+	return false
+}
+
+// insert adds a page, evicting the least recently used page if full.
+func (c *Cache) insert(p storage.PageID) {
+	if _, ok := c.pages[p]; ok {
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		victim := back.Value.(storage.PageID)
+		c.lru.Remove(back)
+		delete(c.pages, victim)
+		c.stats.Evictions++
+	}
+	c.pages[p] = c.lru.PushFront(p)
+}
+
+// Drop removes a page (used by failure-injection tests); absent pages are
+// ignored.
+func (c *Cache) Drop(p storage.PageID) {
+	if e, ok := c.pages[p]; ok {
+		c.lru.Remove(e)
+		delete(c.pages, p)
+	}
+}
+
+// Clear empties the cache — the experiment harness's "echo 3 >
+// /proc/sys/vm/drop_caches" between cold-cache runs.
+func (c *Cache) Clear() {
+	c.pages = make(map[storage.PageID]*list.Element, c.capacity)
+	c.lru.Init()
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

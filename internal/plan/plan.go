@@ -1,0 +1,223 @@
+// Package plan defines query specifications, physical plan trees, and the
+// cost-based planner that chooses between index scans (nested loop) and
+// sequential scans (hash join) per joined dimension — the decision that, in
+// the paper's DSB templates, makes different instances of the same template
+// produce different plans ("Distinct query plans in workload", Table 1).
+//
+// Queries are star-join specifications: a fact relation with filter
+// predicates, joined to dimension relations through foreign keys. That is
+// exactly the shape of the paper's DSB templates 18/19/91 and the IMDB/CEB
+// template 1a ("a join on one of the 7 fact tables along with some of the
+// smaller dimension tables", §5.1).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+)
+
+// Pred is a range predicate Lo <= col <= Hi. Equality is Lo == Hi; open
+// sides use math.MinInt64 / math.MaxInt64.
+type Pred struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// Eq builds an equality predicate.
+func Eq(col string, v int64) Pred { return Pred{Col: col, Lo: v, Hi: v} }
+
+// Between builds an inclusive range predicate.
+func Between(col string, lo, hi int64) Pred { return Pred{Col: col, Lo: lo, Hi: hi} }
+
+// AtLeast builds col >= v.
+func AtLeast(col string, v int64) Pred { return Pred{Col: col, Lo: v, Hi: math.MaxInt64} }
+
+// AtMost builds col <= v.
+func AtMost(col string, v int64) Pred { return Pred{Col: col, Lo: math.MinInt64, Hi: v} }
+
+// Matches reports whether value v satisfies the predicate.
+func (p Pred) Matches(v int64) bool { return v >= p.Lo && v <= p.Hi }
+
+// IsEquality reports whether the predicate pins a single value.
+func (p Pred) IsEquality() bool { return p.Lo == p.Hi }
+
+// String renders the predicate for plan display.
+func (p Pred) String() string {
+	switch {
+	case p.IsEquality():
+		return fmt.Sprintf("%s = %d", p.Col, p.Lo)
+	case p.Lo == math.MinInt64:
+		return fmt.Sprintf("%s <= %d", p.Col, p.Hi)
+	case p.Hi == math.MaxInt64:
+		return fmt.Sprintf("%s >= %d", p.Col, p.Lo)
+	default:
+		return fmt.Sprintf("%s between %d and %d", p.Col, p.Lo, p.Hi)
+	}
+}
+
+// DimJoin describes one dimension joined to the fact table: the fact's
+// foreign-key column equijoined to the dimension's (indexed) key column,
+// plus optional filter predicates on the dimension.
+type DimJoin struct {
+	Dim    string
+	FactFK string
+	DimKey string
+	Preds  []Pred
+	// ForceHash / ForceIndex override the planner's cost decision; the
+	// workload generators use them to pin template plan shapes in tests.
+	ForceHash  bool
+	ForceIndex bool
+}
+
+// Query is a star-join query specification — the logical query before
+// planning.
+type Query struct {
+	Fact      string
+	FactPreds []Pred
+	Dims      []DimJoin
+	// Distinct tag used by workload bookkeeping (template id, instance id).
+	Template string
+	Instance int
+}
+
+// Kind enumerates physical plan operators.
+type Kind uint8
+
+const (
+	// KindSeqScan reads a relation's heap pages in file order.
+	KindSeqScan Kind = iota
+	// KindIndexScan probes a B+tree and fetches matching heap pages.
+	KindIndexScan
+	// KindNestedLoop joins an outer stream against an inner index scan.
+	KindNestedLoop
+	// KindHashJoin builds a hash table from its right child and probes it
+	// with rows from its left child.
+	KindHashJoin
+	// KindFilter applies residual predicates.
+	KindFilter
+	// KindAgg aggregates its input (terminal operator for SPJ+agg queries).
+	KindAgg
+	// KindSort orders its input; like the paper we serialize but otherwise
+	// ignore it (it does not change page access order).
+	KindSort
+)
+
+// String names the operator as in EXPLAIN output.
+func (k Kind) String() string {
+	switch k {
+	case KindSeqScan:
+		return "Seq Scan"
+	case KindIndexScan:
+		return "Index Scan"
+	case KindNestedLoop:
+		return "Nested Loop"
+	case KindHashJoin:
+		return "Hash Join"
+	case KindFilter:
+		return "Filter"
+	case KindAgg:
+		return "Aggregate"
+	case KindSort:
+		return "Sort"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a physical plan operator. Scan nodes carry their relation (and
+// index); join nodes carry the join columns.
+type Node struct {
+	Kind  Kind
+	Left  *Node // outer / only child
+	Right *Node // inner child for joins
+
+	Rel   *catalog.Relation // scan nodes
+	Index *catalog.Index    // index scans
+	Preds []Pred            // filter predicates evaluated at this node
+
+	// OuterCol is, for an index scan under a nested loop, the column of the
+	// outer tuple whose value is probed into the index. For a hash join it
+	// is the outer (probe-side) column; InnerCol is the build-side column.
+	OuterCol string
+	InnerCol string
+
+	// EstRows is the planner's cardinality estimate, kept for plan display.
+	EstRows float64
+}
+
+// Children returns the node's non-nil children, outer first.
+func (n *Node) Children() []*Node {
+	var out []*Node
+	if n.Left != nil {
+		out = append(out, n.Left)
+	}
+	if n.Right != nil {
+		out = append(out, n.Right)
+	}
+	return out
+}
+
+// Walk visits the tree in preorder (node, then children outer→inner) — the
+// traversal order Algorithm 2 serializes.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	n.Left.Walk(visit)
+	n.Right.Walk(visit)
+}
+
+// Shape returns a canonical string of the plan's operator structure,
+// ignoring predicate constants — two instances of a template have the same
+// Shape iff the optimizer chose the same physical plan. Table 1's "distinct
+// query plans in workload" counts distinct Shapes.
+func (n *Node) Shape() string {
+	var b strings.Builder
+	n.Walk(func(m *Node) {
+		b.WriteString(m.Kind.String())
+		if m.Rel != nil {
+			b.WriteByte(' ')
+			b.WriteString(m.Rel.Name)
+		}
+		if m.Index != nil {
+			b.WriteByte(' ')
+			b.WriteString(m.Index.Name)
+		}
+		b.WriteByte(';')
+	})
+	return b.String()
+}
+
+// Display renders an EXPLAIN-style indented tree.
+func (n *Node) Display() string {
+	var b strings.Builder
+	var rec func(m *Node, depth int)
+	rec = func(m *Node, depth int) {
+		if m == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(m.Kind.String())
+		if m.Rel != nil {
+			fmt.Fprintf(&b, " on %s", m.Rel.Name)
+		}
+		if m.Index != nil {
+			fmt.Fprintf(&b, " using %s", m.Index.Name)
+		}
+		for _, p := range m.Preds {
+			fmt.Fprintf(&b, " [%s]", p)
+		}
+		if m.EstRows > 0 {
+			fmt.Fprintf(&b, " (rows=%.0f)", m.EstRows)
+		}
+		b.WriteByte('\n')
+		rec(m.Left, depth+1)
+		rec(m.Right, depth+1)
+	}
+	rec(n, 0)
+	return b.String()
+}

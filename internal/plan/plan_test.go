@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/index"
+)
+
+// starDB builds a small star schema: fact "sales" with FKs into dimensions
+// "item" and "dates", both indexed on their keys.
+func starDB() *catalog.Database {
+	db := catalog.NewDatabase()
+	db.AddRelation("sales", 2000, 10, []catalog.Column{
+		{Name: "s_sk", Gen: catalog.Serial{}},
+		{Name: "s_item_fk", Gen: catalog.Uniform{Lo: 0, Hi: 10000, Seed: 1}},
+		{Name: "s_date_fk", Gen: catalog.Uniform{Lo: 0, Hi: 5000, Seed: 2}},
+		{Name: "s_amount", Gen: catalog.Uniform{Lo: 0, Hi: 1000, Seed: 3}},
+	})
+	// Dimensions are large enough (hundreds of pages) that probing an index
+	// a few times beats hashing the whole table — the regime where Postgres
+	// picks index scans for DSB's dimension joins.
+	item := db.AddRelation("item", 10000, 10, []catalog.Column{
+		{Name: "i_sk", Gen: catalog.Serial{}},
+		{Name: "i_cat", Gen: catalog.Uniform{Lo: 0, Hi: 10, Seed: 4}},
+	})
+	dates := db.AddRelation("dates", 5000, 10, []catalog.Column{
+		{Name: "d_sk", Gen: catalog.Serial{}},
+		{Name: "d_year", Gen: catalog.Uniform{Lo: 2000, Hi: 2005, Seed: 5}},
+	})
+	db.BuildIndex(item, "i_sk", index.Config{LeafCap: 8, Fanout: 4})
+	db.BuildIndex(dates, "d_sk", index.Config{LeafCap: 8, Fanout: 4})
+	return db
+}
+
+func TestPredHelpers(t *testing.T) {
+	if !Eq("a", 5).Matches(5) || Eq("a", 5).Matches(6) {
+		t.Fatal("Eq wrong")
+	}
+	if !Between("a", 1, 3).Matches(2) || Between("a", 1, 3).Matches(4) {
+		t.Fatal("Between wrong")
+	}
+	if !AtLeast("a", 10).Matches(10) || AtLeast("a", 10).Matches(9) {
+		t.Fatal("AtLeast wrong")
+	}
+	if !AtMost("a", 10).Matches(10) || AtMost("a", 10).Matches(11) {
+		t.Fatal("AtMost wrong")
+	}
+	if !Eq("a", 5).IsEquality() || Between("a", 1, 2).IsEquality() {
+		t.Fatal("IsEquality wrong")
+	}
+}
+
+func TestPredString(t *testing.T) {
+	cases := map[string]Pred{
+		"a = 5":             Eq("a", 5),
+		"a between 1 and 3": Between("a", 1, 3),
+		"a >= 10":           AtLeast("a", 10),
+		"a <= 10":           AtMost("a", 10),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPlannerSelectiveQueryUsesIndex(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	// A very selective fact predicate → few probes → index nested loop.
+	q := Query{
+		Fact:      "sales",
+		FactPreds: []Pred{Between("s_amount", 0, 9)}, // ~1% of rows
+		Dims:      []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
+	}
+	root := pl.Plan(q)
+	if root.Kind != KindAgg {
+		t.Fatalf("root = %v", root.Kind)
+	}
+	join := root.Left
+	if join.Kind != KindNestedLoop {
+		t.Fatalf("selective query planned %v, want nested loop:\n%s", join.Kind, root.Display())
+	}
+	if join.Right.Kind != KindIndexScan || join.Right.Index == nil {
+		t.Fatal("nested loop inner is not an index scan")
+	}
+}
+
+func TestPlannerUnselectiveQueryUsesHash(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	// No fact filter → 2000 probes against a 10-page dimension → hash join.
+	q := Query{
+		Fact: "sales",
+		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
+	}
+	join := pl.Plan(q).Left
+	if join.Kind != KindHashJoin {
+		t.Fatalf("unselective query planned %v, want hash join", join.Kind)
+	}
+	if join.Right.Kind != KindSeqScan {
+		t.Fatal("hash build side is not a seq scan")
+	}
+}
+
+func TestPlannerForceOverrides(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	q := Query{
+		Fact: "sales",
+		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true}},
+	}
+	if pl.Plan(q).Left.Kind != KindNestedLoop {
+		t.Fatal("ForceIndex ignored")
+	}
+	q.Dims[0].ForceIndex = false
+	q.Dims[0].ForceHash = true
+	q.FactPreds = []Pred{Eq("s_sk", 1)}
+	if pl.Plan(q).Left.Kind != KindHashJoin {
+		t.Fatal("ForceHash ignored")
+	}
+}
+
+func TestPlanShapeDistinguishesPlans(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	selective := Query{
+		Fact:      "sales",
+		FactPreds: []Pred{Between("s_amount", 0, 9)},
+		Dims:      []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
+	}
+	broad := Query{
+		Fact: "sales",
+		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
+	}
+	s1 := pl.Plan(selective).Shape()
+	s2 := pl.Plan(broad).Shape()
+	if s1 == s2 {
+		t.Fatal("different physical plans share a Shape")
+	}
+	// Same plan, different constants → same Shape.
+	selective2 := selective
+	selective2.FactPreds = []Pred{Between("s_amount", 20, 29)}
+	if pl.Plan(selective2).Shape() != s1 {
+		t.Fatal("constant change altered Shape")
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	q := Query{
+		Fact:      "sales",
+		FactPreds: []Pred{Between("s_amount", 0, 9)},
+		Dims: []DimJoin{
+			{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true},
+			{Dim: "dates", FactFK: "s_date_fk", DimKey: "d_sk", ForceIndex: true},
+		},
+	}
+	var kinds []Kind
+	pl.Plan(q).Walk(func(n *Node) { kinds = append(kinds, n.Kind) })
+	want := []Kind{KindAgg, KindNestedLoop, KindNestedLoop, KindSeqScan, KindIndexScan, KindIndexScan}
+	if len(kinds) != len(want) {
+		t.Fatalf("walk kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("walk order = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestDisplayMentionsEverything(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	q := Query{
+		Fact:      "sales",
+		FactPreds: []Pred{Eq("s_amount", 5)},
+		Dims:      []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true, Preds: []Pred{Eq("i_cat", 3)}}},
+	}
+	out := pl.Plan(q).Display()
+	for _, want := range []string{"Aggregate", "Nested Loop", "Seq Scan on sales", "Index Scan on item", "item_i_sk_idx", "s_amount = 5", "i_cat = 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Display missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	db := starDB()
+	rel := db.Relation("sales")
+	if s := selectivity(rel, Between("s_amount", 0, 99)); math.Abs(s-0.1) > 1e-9 {
+		t.Fatalf("10%% range selectivity = %f", s)
+	}
+	if s := selectivity(rel, Between("s_amount", -100, 2000)); s != 1 {
+		t.Fatalf("full-range selectivity = %f", s)
+	}
+	if s := selectivity(rel, Between("s_amount", 5000, 6000)); s != 0 {
+		t.Fatalf("out-of-domain selectivity = %f", s)
+	}
+	if s := selectivity(rel, Eq("no_such_col", 1)); s != 1 {
+		t.Fatalf("unknown column selectivity = %f (should be neutral)", s)
+	}
+}
+
+func TestPlanUnknownRelationPanics(t *testing.T) {
+	db := starDB()
+	pl := NewPlanner(db)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown fact did not panic")
+		}
+	}()
+	pl.Plan(Query{Fact: "nope"})
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindSeqScan: "Seq Scan", KindIndexScan: "Index Scan",
+		KindNestedLoop: "Nested Loop", KindHashJoin: "Hash Join",
+		KindFilter: "Filter", KindAgg: "Aggregate", KindSort: "Sort",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}

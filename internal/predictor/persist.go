@@ -1,0 +1,102 @@
+package predictor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/model"
+	"github.com/pythia-db/pythia/internal/serialize"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// persistedPredictor is the on-disk form of a trained predictor: the frozen
+// vocabulary, the serializer configuration, and each model together with
+// the database objects it covers.
+type persistedPredictor struct {
+	Version     int
+	SerCfg      serialize.Config
+	VocabTokens []string
+	Models      [][]byte
+	ModelObjs   [][]storage.ObjectID
+	TrainTime   time.Duration
+}
+
+const persistVersion = 1
+
+// Save writes the predictor to w. Loaded predictors produce byte-identical
+// predictions for the same plans.
+func (p *Predictor) Save(w io.Writer) error {
+	state := persistedPredictor{
+		Version:     persistVersion,
+		SerCfg:      p.serCfg,
+		VocabTokens: p.vocab.Tokens(),
+		ModelObjs:   p.modelObjs,
+		TrainTime:   p.TrainTime,
+	}
+	for _, m := range p.models {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return fmt.Errorf("predictor: saving model: %w", err)
+		}
+		state.Models = append(state.Models, buf.Bytes())
+	}
+	return gob.NewEncoder(w).Encode(&state)
+}
+
+// Load reads a predictor previously written by Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var state persistedPredictor
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("predictor: decoding: %w", err)
+	}
+	if state.Version != persistVersion {
+		return nil, fmt.Errorf("predictor: unsupported persisted version %d", state.Version)
+	}
+	if len(state.Models) != len(state.ModelObjs) {
+		return nil, fmt.Errorf("predictor: %d models but %d coverage entries",
+			len(state.Models), len(state.ModelObjs))
+	}
+	vocab, err := serialize.VocabFromTokens(state.VocabTokens)
+	if err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		vocab:     vocab,
+		serCfg:    state.SerCfg,
+		modelObjs: state.ModelObjs,
+		objModels: make(map[storage.ObjectID][]*model.Model),
+		TrainTime: state.TrainTime,
+	}
+	for i, raw := range state.Models {
+		m, err := model.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("predictor: model %d: %w", i, err)
+		}
+		p.models = append(p.models, m)
+		for _, id := range state.ModelObjs[i] {
+			p.objModels[id] = append(p.objModels[id], m)
+		}
+	}
+	return p, nil
+}
+
+// Update incrementally trains every model on new samples ("Pythia can be
+// trained incrementally ... every new query run can be used as a new
+// training data point", §5.3). Pages belonging to objects no model covers
+// are ignored — extending coverage to new objects requires retraining,
+// which the paper notes is cheap.
+func (p *Predictor) Update(samples []TrainSample, epochs int) {
+	msamples := make([]model.Sample, len(samples))
+	for i, s := range samples {
+		msamples[i] = model.Sample{
+			TokenIDs: p.vocab.Encode(serialize.Serialize(s.Plan, p.serCfg)),
+			Pages:    s.Trace.Pages(),
+		}
+	}
+	for _, m := range p.models {
+		m.TrainIncremental(msamples, epochs)
+	}
+}

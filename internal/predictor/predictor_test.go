@@ -1,0 +1,240 @@
+package predictor
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/exec"
+	"github.com/pythia-db/pythia/internal/index"
+	"github.com/pythia-db/pythia/internal/metrics"
+	"github.com/pythia-db/pythia/internal/model"
+	"github.com/pythia-db/pythia/internal/plan"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+	"github.com/pythia-db/pythia/internal/trace"
+)
+
+// workloadDB builds a DSB-flavoured micro-schema: the fact's foreign key is
+// correlated with its date column, so a date-range predicate determines
+// (noisily) which dimension pages the query probes — the correlation Pythia
+// exploits.
+func workloadDB() *catalog.Database {
+	db := catalog.NewDatabase()
+	dateGen := catalog.Uniform{Lo: 0, Hi: 1000, Seed: 11}
+	db.AddRelation("fact", 4000, 20, []catalog.Column{
+		{Name: "f_date", Gen: dateGen},
+		{Name: "f_item_fk", Gen: catalog.Noisy{
+			Base: catalog.Correlated{
+				Base:      dateGen,
+				Transform: func(v int64) int64 { return v * 3 },
+				Lo:        0, Hi: 3000,
+			},
+			Range: 300, Seed: 13,
+		}},
+	})
+	item := db.AddRelation("item", 3300, 10, []catalog.Column{
+		{Name: "i_sk", Gen: catalog.Serial{}},
+	})
+	db.BuildIndex(item, "i_sk", index.Config{LeafCap: 32, Fanout: 16})
+	return db
+}
+
+func templateQuery(p int64) plan.Query {
+	return plan.Query{
+		Fact:      "fact",
+		FactPreds: []plan.Pred{plan.Between("f_date", p, p+60)},
+		Dims: []plan.DimJoin{{
+			Dim: "item", FactFK: "f_item_fk", DimKey: "i_sk", ForceIndex: true,
+		}},
+		Template: "t1",
+	}
+}
+
+func buildSamples(t *testing.T, db *catalog.Database, params []int64) ([]TrainSample, []*plan.Node, []*trace.Processed) {
+	t.Helper()
+	pl := plan.NewPlanner(db)
+	var samples []TrainSample
+	var plans []*plan.Node
+	var traces []*trace.Processed
+	for _, p := range params {
+		root := pl.Plan(templateQuery(p))
+		res := exec.Run(root)
+		tr := trace.Process(res.Requests)
+		samples = append(samples, TrainSample{Plan: root, Trace: tr})
+		plans = append(plans, root)
+		traces = append(traces, tr)
+	}
+	return samples, plans, traces
+}
+
+func fastOpts() Options {
+	cfg := model.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.DecoderHidden = 32
+	cfg.Epochs = 25
+	return Options{Model: cfg, ObservedOnly: true}
+}
+
+func TestPredictorLearnsWorkload(t *testing.T) {
+	db := workloadDB()
+	r := sim.NewRand(3)
+	var trainParams, testParams []int64
+	for i := 0; i < 48; i++ {
+		trainParams = append(trainParams, r.Int63n(900))
+	}
+	for i := 0; i < 8; i++ {
+		testParams = append(testParams, r.Int63n(900))
+	}
+	samples, _, _ := buildSamples(t, db, trainParams)
+	p := Train(db.Registry, samples, fastOpts())
+
+	if p.TrainTime <= 0 {
+		t.Fatal("TrainTime not recorded")
+	}
+	if p.VocabSize() <= 3 {
+		t.Fatal("vocabulary did not grow")
+	}
+	if len(p.Models()) == 0 {
+		t.Fatal("no models trained")
+	}
+	if p.ParamCount() <= 0 {
+		t.Fatal("ParamCount wrong")
+	}
+
+	_, testPlans, testTraces := buildSamples(t, db, testParams)
+	var f1s []float64
+	for i, root := range testPlans {
+		pred := p.Predict(root)
+		f1s = append(f1s, metrics.Score(pred, testTraces[i].Pages()).F1)
+	}
+	mean := metrics.Summarize(f1s).Mean
+	if mean < 0.5 {
+		t.Fatalf("unseen-query mean F1 = %.3f, want >= 0.5 (%v)", mean, f1s)
+	}
+}
+
+func TestPredictDeterministicAndSorted(t *testing.T) {
+	db := workloadDB()
+	samples, plans, _ := buildSamples(t, db, []int64{100, 300, 500, 700, 100, 300, 500, 700})
+	p := Train(db.Registry, samples, fastOpts())
+	a := p.Predict(plans[0])
+	b := p.Predict(plans[0])
+	if len(a) != len(b) {
+		t.Fatal("prediction not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("prediction not deterministic")
+		}
+		if i > 0 && !a[i-1].Less(a[i]) {
+			t.Fatal("prediction not sorted/deduped")
+		}
+	}
+	// Parallel inference returns the same set.
+	c := p.PredictParallel(plans[0])
+	if len(a) != len(c) {
+		t.Fatalf("parallel inference differs: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("parallel inference differs")
+		}
+	}
+}
+
+func TestPredictIgnoresIrrelevantPlans(t *testing.T) {
+	db := workloadDB()
+	samples, _, _ := buildSamples(t, db, []int64{100, 300, 500, 700})
+	p := Train(db.Registry, samples, fastOpts())
+	// A plan with no index scans has no non-sequential scan nodes; Pythia
+	// predicts nothing (Algorithm 3 only engages for non-sequential scans).
+	pl := plan.NewPlanner(db)
+	q := templateQuery(100)
+	q.Dims[0].ForceIndex = false
+	q.Dims[0].ForceHash = true
+	root := pl.Plan(q)
+	if got := p.Predict(root); len(got) != 0 {
+		t.Fatalf("hash-only plan predicted %d pages", len(got))
+	}
+}
+
+func TestPartitioningSplitsModels(t *testing.T) {
+	db := workloadDB()
+	samples, _, _ := buildSamples(t, db, []int64{100, 300, 500, 700})
+	opts := fastOpts()
+	single := Train(db.Registry, samples, opts)
+	opts.MaxPartitionPages = 20
+	parted := Train(db.Registry, samples, opts)
+	if len(parted.Models()) <= len(single.Models()) {
+		t.Fatalf("partitioning did not increase model count: %d vs %d",
+			len(parted.Models()), len(single.Models()))
+	}
+	// Partitioned prediction still works end to end.
+	pl := plan.NewPlanner(db)
+	if got := parted.Predict(pl.Plan(templateQuery(100))); len(got) == 0 {
+		t.Fatal("partitioned predictor predicted nothing")
+	}
+}
+
+func TestTopKRestrictsLabelSpace(t *testing.T) {
+	db := workloadDB()
+	samples, _, _ := buildSamples(t, db, []int64{100, 300, 500, 700, 200, 400})
+	opts := fastOpts()
+	opts.TopK = 5
+	p := Train(db.Registry, samples, opts)
+	for _, m := range p.Models() {
+		if len(m.Labels) > 5 {
+			t.Fatalf("model label space %d exceeds TopK", len(m.Labels))
+		}
+	}
+}
+
+func TestGroupsCombineObjects(t *testing.T) {
+	db := workloadDB()
+	// Each parameter repeats so the combined model sees every page set
+	// several times per epoch and grows confident on heap pages too.
+	samples, _, _ := buildSamples(t, db, []int64{
+		100, 300, 500, 700, 100, 300, 500, 700, 100, 300, 500, 700,
+	})
+	item := db.Relation("item")
+	opts := fastOpts()
+	opts.Model.Epochs = 50
+	opts.Groups = [][]storage.ObjectID{
+		{item.Heap.ID, item.IndexOn("i_sk").Tree.Object().ID},
+	}
+	p := Train(db.Registry, samples, opts)
+	if len(p.Models()) != 1 {
+		t.Fatalf("combined group trained %d models, want 1", len(p.Models()))
+	}
+	// The combined model still predicts pages from both objects.
+	pl := plan.NewPlanner(db)
+	pred := p.Predict(pl.Plan(templateQuery(100)))
+	objs := map[uint32]bool{}
+	for _, pg := range pred {
+		objs[uint32(pg.Object)] = true
+	}
+	if len(objs) < 2 {
+		t.Fatalf("combined model predicted only objects %v", objs)
+	}
+}
+
+func TestParallelTrainingMatchesSerial(t *testing.T) {
+	db := workloadDB()
+	samples, plans, _ := buildSamples(t, db, []int64{100, 300, 500, 700})
+	serial := Train(db.Registry, samples, fastOpts())
+	popts := fastOpts()
+	popts.Parallel = true
+	parallel := Train(db.Registry, samples, popts)
+	a := serial.Predict(plans[0])
+	b := parallel.Predict(plans[0])
+	if len(a) != len(b) {
+		t.Fatalf("parallel training changed predictions: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel training changed predictions")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package pythia
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/pythia-db/pythia/internal/predictor"
+)
+
+// persistedWorkload is the on-disk form of one trained workload: its name,
+// the matching metadata (templates and relation set), and the predictor.
+type persistedWorkload struct {
+	Version   int
+	Name      string
+	Templates []string
+	Relations []string
+	Predictor []byte
+}
+
+const persistVersion = 1
+
+// SaveWorkload writes the named trained workload to w, so a production
+// deployment can train once and serve from the persisted models.
+func (s *System) SaveWorkload(name string, w io.Writer) error {
+	var tw *Trained
+	for _, t := range s.trained {
+		if t.Name == name {
+			tw = t
+		}
+	}
+	if tw == nil {
+		return fmt.Errorf("pythia: no trained workload %q", name)
+	}
+	state := persistedWorkload{Version: persistVersion, Name: tw.Name}
+	for t := range tw.templates {
+		state.Templates = append(state.Templates, t)
+	}
+	for r := range tw.relations {
+		state.Relations = append(state.Relations, r)
+	}
+	sort.Strings(state.Templates)
+	sort.Strings(state.Relations)
+	var buf bytes.Buffer
+	if err := tw.Pred.Save(&buf); err != nil {
+		return err
+	}
+	state.Predictor = buf.Bytes()
+	return gob.NewEncoder(w).Encode(&state)
+}
+
+// LoadWorkload reads a workload previously written by SaveWorkload and
+// registers it for matching, exactly as if Train had run.
+func (s *System) LoadWorkload(r io.Reader) (*Trained, error) {
+	var state persistedWorkload
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("pythia: decoding workload: %w", err)
+	}
+	if state.Version != persistVersion {
+		return nil, fmt.Errorf("pythia: unsupported persisted version %d", state.Version)
+	}
+	pred, err := predictor.Load(bytes.NewReader(state.Predictor))
+	if err != nil {
+		return nil, err
+	}
+	tw := &Trained{
+		Name:      state.Name,
+		Pred:      pred,
+		templates: map[string]bool{},
+		relations: map[string]bool{},
+	}
+	for _, t := range state.Templates {
+		tw.templates[t] = true
+	}
+	for _, rel := range state.Relations {
+		tw.relations[rel] = true
+	}
+	s.trained = append(s.trained, tw)
+	return tw, nil
+}

@@ -1,0 +1,108 @@
+package pythia
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/predictor"
+)
+
+func TestSaveLoadWorkloadRoundTrip(t *testing.T) {
+	s, w := testSystem(t)
+	train, test := w.Split(0.15, 3)
+	s.Train("t91", train)
+
+	var buf bytes.Buffer
+	if err := s.SaveWorkload("t91", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty persisted workload")
+	}
+
+	// A fresh system over the same database loads the workload and predicts
+	// identically.
+	s2 := New(s.DB, s.Config())
+	tw, err := s2.LoadWorkload(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Name != "t91" {
+		t.Fatalf("loaded workload name %q", tw.Name)
+	}
+	for _, inst := range test {
+		a := s.Prefetch(inst)
+		b := s2.Prefetch(inst)
+		if len(a) != len(b) {
+			t.Fatalf("loaded predictor differs: %d vs %d pages", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("loaded predictor differs in content")
+			}
+		}
+	}
+	// Matching metadata survived: an untagged same-relations query matches.
+	q := test[0].Query
+	q.Template = ""
+	if s2.Match(q) != tw {
+		t.Fatal("loaded workload does not match by relation set")
+	}
+}
+
+func TestSaveUnknownWorkloadErrors(t *testing.T) {
+	s, _ := testSystem(t)
+	var buf bytes.Buffer
+	if err := s.SaveWorkload("nope", &buf); err == nil {
+		t.Fatal("saving unknown workload did not error")
+	}
+}
+
+func TestLoadGarbageErrors(t *testing.T) {
+	s, _ := testSystem(t)
+	if _, err := s.LoadWorkload(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("loading garbage did not error")
+	}
+}
+
+func TestPredictorUpdateImproves(t *testing.T) {
+	s, w := testSystem(t)
+	// Train on a sliver, then incrementally update with the rest; accuracy
+	// on held-out queries should not get worse and typically improves.
+	train, test := w.Split(0.15, 3)
+	tiny := train[:8]
+	rest := train[8:]
+	tw := s.Train("t91", tiny)
+
+	scoreSum := func() float64 {
+		total := 0.0
+		for _, inst := range test {
+			pred := s.Prefetch(inst)
+			inter := 0
+			truth := map[string]bool{}
+			for _, p := range inst.Pages {
+				truth[p.String()] = true
+			}
+			for _, p := range pred {
+				if truth[p.String()] {
+					inter++
+				}
+			}
+			denom := len(pred) + len(inst.Pages)
+			if denom > 0 {
+				total += 2 * float64(inter) / float64(denom)
+			}
+		}
+		return total
+	}
+	before := scoreSum()
+	var samples []predictor.TrainSample
+	for _, inst := range rest {
+		samples = append(samples, predictor.TrainSample{Plan: inst.Plan, Trace: inst.Trace})
+	}
+	tw.Pred.Update(samples, 10)
+	after := scoreSum()
+	if after < before-0.3 {
+		t.Fatalf("incremental update degraded accuracy: %.3f -> %.3f", before, after)
+	}
+}

@@ -1,0 +1,231 @@
+// Package pythia is the top-level system: the analog of the paper's
+// Postgres integration (§4). It owns trained per-workload predictors,
+// decides for each incoming query whether Pythia engages (workload matching,
+// Algorithm 3 lines 3–4) or execution falls back to the default path,
+// applies limited prefetching when predictions exceed what the buffer pool
+// can hold, and replays queries through the buffer/OS-cache/disk timing
+// model with or without the asynchronous prefetcher.
+package pythia
+
+import (
+	"strconv"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/plan"
+	"github.com/pythia-db/pythia/internal/predictor"
+	"github.com/pythia-db/pythia/internal/replay"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+// Config assembles the system.
+type Config struct {
+	// Replay is the timing model (buffer size, policy, cost constants).
+	Replay replay.Config
+	// Predictor configures model training.
+	Predictor predictor.Options
+	// Window is the readahead window R (pinned prefetched pages); the
+	// paper's default is 1024.
+	Window int
+	// PrefetchBufferFraction bounds limited prefetching: at most this
+	// fraction of the buffer pool is filled by prefetch for one query
+	// ("we perform limited prefetching to stay within buffer memory
+	// bounds", §5.1). Default 0.75.
+	PrefetchBufferFraction float64
+}
+
+// DefaultConfig returns the experiment harness defaults. The predictor
+// trains in parallel over label spaces restricted to observed pages —
+// prediction-equivalent to the paper's full page-per-output-node decoder
+// (never-observed pages converge to "never predict" anyway) but much
+// faster; set Predictor.ObservedOnly = false for the paper's exact layout.
+func DefaultConfig() Config {
+	return Config{
+		Replay:                 replay.Config{BufferPages: 2048},
+		Predictor:              predictor.Options{ObservedOnly: true, Parallel: true},
+		Window:                 1024,
+		PrefetchBufferFraction: 0.75,
+	}
+}
+
+// Trained is one workload Pythia has models for.
+type Trained struct {
+	Name      string
+	Pred      *predictor.Predictor
+	templates map[string]bool
+	relations map[string]bool
+}
+
+// System is a database plus Pythia's trained workloads.
+type System struct {
+	DB      *catalog.Database
+	cfg     Config
+	trained []*Trained
+}
+
+// New assembles a system over db.
+func New(db *catalog.Database, cfg Config) *System {
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	if cfg.PrefetchBufferFraction <= 0 || cfg.PrefetchBufferFraction > 1 {
+		cfg.PrefetchBufferFraction = 0.75
+	}
+	if cfg.Replay.BufferPages <= 0 {
+		cfg.Replay.BufferPages = 2048
+	}
+	return &System{DB: db, cfg: cfg}
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Train fits a predictor for the named workload from training instances and
+// registers it for matching.
+func (s *System) Train(name string, train []*workload.Instance) *Trained {
+	samples := make([]predictor.TrainSample, len(train))
+	tw := &Trained{
+		Name:      name,
+		templates: map[string]bool{},
+		relations: map[string]bool{},
+	}
+	for i, inst := range train {
+		samples[i] = predictor.TrainSample{Plan: inst.Plan, Trace: inst.Trace}
+		tw.templates[inst.Query.Template] = true
+		tw.relations[inst.Query.Fact] = true
+		for _, d := range inst.Query.Dims {
+			tw.relations[d.Dim] = true
+		}
+	}
+	tw.Pred = predictor.Train(s.DB.Registry, samples, s.cfg.Predictor)
+	s.trained = append(s.trained, tw)
+	return tw
+}
+
+// Workloads returns the trained workloads.
+func (s *System) Workloads() []*Trained { return s.trained }
+
+// WithReplay returns a copy of the system sharing its trained predictors
+// but replaying under a different timing configuration — the buffer-size,
+// replacement-policy, and cost sweeps (Figures 12e–f) retrain nothing.
+func (s *System) WithReplay(rc replay.Config) *System {
+	clone := *s
+	if rc.BufferPages <= 0 {
+		rc.BufferPages = s.cfg.Replay.BufferPages
+	}
+	clone.cfg.Replay = rc
+	return &clone
+}
+
+// WithWindow returns a copy of the system with a different readahead window
+// (the Figure 12g sweep), sharing trained predictors.
+func (s *System) WithWindow(w int) *System {
+	clone := *s
+	if w > 0 {
+		clone.cfg.Window = w
+	}
+	return &clone
+}
+
+// Match decides which trained workload (if any) a query belongs to: an
+// exact template match first, then a relation-set Jaccard ≥ 0.5 fallback for
+// untagged queries. Nil means Pythia does not engage and the query runs on
+// the default path (Algorithm 3, line 14).
+func (s *System) Match(q plan.Query) *Trained {
+	for _, tw := range s.trained {
+		if q.Template != "" && tw.templates[q.Template] {
+			return tw
+		}
+	}
+	var best *Trained
+	bestSim := 0.5
+	qRels := map[string]bool{q.Fact: true}
+	for _, d := range q.Dims {
+		qRels[d.Dim] = true
+	}
+	for _, tw := range s.trained {
+		inter, union := 0, len(tw.relations)
+		for r := range qRels {
+			if tw.relations[r] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if union == 0 {
+			continue
+		}
+		if sim := float64(inter) / float64(union); sim >= bestSim {
+			bestSim = sim
+			best = tw
+		}
+	}
+	return best
+}
+
+// Prefetch runs Algorithm 3 for one query: match its workload, predict the
+// page set from the serialized plan, and bound it for the buffer. A nil
+// result means fallback (no prefetching).
+func (s *System) Prefetch(inst *workload.Instance) []storage.PageID {
+	tw := s.Match(inst.Query)
+	if tw == nil {
+		return nil
+	}
+	return s.LimitPrefetch(tw.Pred.PredictParallel(inst.Plan))
+}
+
+// LimitPrefetch truncates a predicted page set to the buffer-bounded budget,
+// keeping file-storage order.
+func (s *System) LimitPrefetch(pages []storage.PageID) []storage.PageID {
+	budget := int(float64(s.cfg.Replay.BufferPages) * s.cfg.PrefetchBufferFraction)
+	if len(pages) > budget {
+		pages = pages[:budget]
+	}
+	return pages
+}
+
+// PrefetchFunc maps an instance to its prefetch set; baselines and Pythia
+// itself both fit this shape.
+type PrefetchFunc func(*workload.Instance) []storage.PageID
+
+// Run replays instances with per-instance arrival times and the given
+// prefetch strategy (nil strategy = default execution for all). Prefetch
+// sets from the strategy are buffer-bounded exactly like Pythia's own.
+func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strategy PrefetchFunc) *replay.RunResult {
+	specs := make([]replay.QuerySpec, len(insts))
+	for i, inst := range insts {
+		var pf []storage.PageID
+		if strategy != nil {
+			pf = s.LimitPrefetch(strategy(inst))
+		}
+		var arr sim.Duration
+		if arrivals != nil {
+			arr = arrivals[i]
+		}
+		specs[i] = replay.QuerySpec{
+			ID:       specID(inst, i),
+			Arrival:  arr,
+			Requests: inst.Requests,
+			Prefetch: pf,
+			Window:   s.cfg.Window,
+		}
+	}
+	cfg := s.cfg.Replay
+	cfg.DefaultWindow = s.cfg.Window
+	return replay.Run(s.DB.Registry, cfg, specs)
+}
+
+func specID(inst *workload.Instance, i int) string {
+	return inst.Query.Template + "#" + strconv.Itoa(inst.Query.Instance) + "/" + strconv.Itoa(i)
+}
+
+// SpeedupColdCache measures one instance's cold-cache speedup: the ratio of
+// its default-path elapsed time to its elapsed time under the strategy
+// ("Postgres is restarted between every different query execution along
+// with cleaning OS page cache", §5.1 — each Run starts cold).
+func (s *System) SpeedupColdCache(inst *workload.Instance, strategy PrefetchFunc) float64 {
+	dflt := s.Run([]*workload.Instance{inst}, nil, nil)
+	variant := s.Run([]*workload.Instance{inst}, nil, strategy)
+	return float64(dflt.TotalElapsed()) / float64(variant.TotalElapsed())
+}

@@ -1,0 +1,129 @@
+package replay
+
+import (
+	"github.com/pythia-db/pythia/internal/oscache"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// prefetcher is the per-query AIO structure: it drains a queue of predicted
+// block offsets (already in file-storage order), keeps at most window
+// prefetched-but-unconsumed pages pinned in the buffer pool, and bounds its
+// in-flight reads by the configured AIO depth. Its reads go through the OS
+// page cache with their own readahead stream — reading in file order means
+// many prefetches become OS-cache copies, exactly the cooperation the paper
+// engineers (§3.3, Prefetcher).
+type prefetcher struct {
+	r      *runner
+	queue  []storage.PageID
+	next   int
+	window int
+
+	stream   *oscache.Stream
+	inflight int
+	pinned   []storage.PageID // FIFO of pages pinned on the query's behalf
+	started  bool             // model inference finished; prefetching may begin
+	done     bool
+}
+
+func newPrefetcher(r *runner, pages []storage.PageID, window int) *prefetcher {
+	return &prefetcher{
+		r:      r,
+		queue:  pages,
+		window: window,
+		stream: r.osc.NewStream(),
+	}
+}
+
+// start marks the model's predictions as available and begins prefetching.
+// Until then pump is a no-op: executor progress (dummy requests) must not
+// start I/O for predictions that do not exist yet.
+func (p *prefetcher) start() {
+	p.started = true
+	p.pump()
+}
+
+// pump issues prefetches while the window and AIO depth allow.
+func (p *prefetcher) pump() {
+	if p.done || !p.started {
+		return
+	}
+	for p.next < len(p.queue) &&
+		len(p.pinned)+p.inflight < p.window &&
+		p.inflight < p.r.cfg.PrefetchWorkers {
+		page := p.queue[p.next]
+		p.next++
+		p.issue(page)
+	}
+}
+
+// issue starts one asynchronous prefetch read.
+func (p *prefetcher) issue(page storage.PageID) {
+	if p.r.pool.Contains(page) {
+		// Already resident: "nothing happens except increasing its use
+		// count" — refresh and move on without I/O.
+		p.r.pool.Insert(page, false)
+		p.r.result.PrefetchSkip++
+		return
+	}
+	now := p.r.eng.Now()
+	hit, readahead := p.r.osc.Read(p.stream, page, p.r.objPages(page))
+	for range readahead {
+		p.r.disk.ReadWith(now, p.r.cfg.Cost.SeqDiskRead)
+	}
+	var arrive sim.Time
+	if hit {
+		arrive = now.Add(p.r.cfg.Cost.OSCacheCopy)
+	} else {
+		arrive = p.r.disk.Read(now)
+	}
+	p.inflight++
+	p.r.eng.At(arrive, func() { p.arrived(page) })
+}
+
+// arrived lands a prefetched page in the buffer pool and pins it.
+func (p *prefetcher) arrived(page storage.PageID) {
+	p.inflight--
+	if p.done {
+		return
+	}
+	if p.r.pool.Insert(page, true) {
+		p.r.pool.Pin(page)
+		p.pinned = append(p.pinned, page)
+		p.r.result.Prefetched++
+	} else {
+		// Every frame pinned: limited prefetching backs off rather than
+		// deadlocking the pool.
+		p.r.result.PrefetchSkip++
+	}
+	p.pump()
+}
+
+// onExecutorRead is the dummy AIO request: each executor read releases one
+// prefetched page — the page itself if it was pinned for this query,
+// otherwise the oldest pinned page ("the page that it returns from this
+// dummy request is just discarded (not used, but it stays in the buffer)").
+func (p *prefetcher) onExecutorRead(page storage.PageID) {
+	if len(p.pinned) > 0 {
+		idx := 0
+		for i, q := range p.pinned {
+			if q == page {
+				idx = i
+				break
+			}
+		}
+		released := p.pinned[idx]
+		p.pinned = append(p.pinned[:idx], p.pinned[idx+1:]...)
+		p.r.pool.Unpin(released)
+	}
+	p.pump()
+}
+
+// shutdown unpins everything still held when the query completes.
+func (p *prefetcher) shutdown() {
+	p.done = true
+	for _, page := range p.pinned {
+		p.r.pool.Unpin(page)
+	}
+	p.pinned = nil
+}

@@ -1,0 +1,252 @@
+// Package replay is the timing engine: it replays one or more queries' page
+// request scripts through the full cache hierarchy (buffer pool → OS page
+// cache → disk) on a discrete-event timeline, optionally with an
+// asynchronous Pythia-style prefetcher per query, and reports per-query
+// elapsed times. Speedup — the paper's headline metric — is the ratio of a
+// query's replayed time without prefetching to its time with.
+//
+// The model mirrors the paper's modified Postgres (§4):
+//
+//   - The executor always uses the default synchronous read path: buffer hit,
+//     else OS-cache copy, else disk read ("we modify Postgres to never request
+//     page from the AIO structure but always using the default read call").
+//   - The prefetcher works through an AIO queue of sorted block offsets,
+//     keeps at most Window prefetched-but-unconsumed pages pinned, and each
+//     executor read files a "dummy request" that releases one entry so the
+//     next prefetch can be initiated.
+//   - Prefetch reads and foreground misses share the same disk channels, so
+//     prefetch I/O can contend with foreground I/O under concurrency.
+//   - Sequential executor reads benefit from OS readahead; the prefetcher
+//     issues its reads in file-storage order to earn the same benefit.
+package replay
+
+import (
+	"fmt"
+
+	"github.com/pythia-db/pythia/internal/buffer"
+	"github.com/pythia-db/pythia/internal/oscache"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// QuerySpec is one query to replay.
+type QuerySpec struct {
+	// ID labels the query in results.
+	ID string
+	// Arrival is the virtual time the query starts.
+	Arrival sim.Duration
+	// Requests is the executor's ordered page-access script.
+	Requests []storage.Request
+	// Prefetch is the sorted set of pages to prefetch asynchronously; nil
+	// or empty replays the default (no-prefetch) strategy.
+	Prefetch []storage.PageID
+	// Window is the readahead window R — the maximum number of prefetched,
+	// not-yet-consumed pages kept pinned (paper default 1024). Zero
+	// disables pinning-based flow control and is replaced by the config
+	// default.
+	Window int
+}
+
+// Config shapes one replay run.
+type Config struct {
+	Cost sim.CostModel
+	// BufferPages sizes the RDBMS buffer pool in pages.
+	BufferPages int
+	// BufferPolicy selects the replacement policy (Clock by default).
+	BufferPolicy buffer.Policy
+	// OSCachePages sizes the OS page cache (default: 4× buffer).
+	OSCachePages int
+	// ReadaheadMax caps the OS readahead window in pages.
+	ReadaheadMax int
+	// PrefetchWorkers bounds a query's in-flight asynchronous prefetch
+	// reads (the AIO queue depth per backend, default 4).
+	PrefetchWorkers int
+	// DefaultWindow is used when a QuerySpec leaves Window zero.
+	DefaultWindow int
+}
+
+// Defaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cost == (sim.CostModel{}) {
+		c.Cost = sim.DefaultCostModel()
+	}
+	if c.Cost.SeqDiskRead <= 0 {
+		c.Cost.SeqDiskRead = c.Cost.DiskRead / 16
+	}
+	if c.BufferPages <= 0 {
+		c.BufferPages = 1024
+	}
+	if c.OSCachePages <= 0 {
+		c.OSCachePages = 4 * c.BufferPages
+	}
+	if c.PrefetchWorkers <= 0 {
+		c.PrefetchWorkers = 4
+	}
+	if c.DefaultWindow <= 0 {
+		c.DefaultWindow = 1024
+	}
+	return c
+}
+
+// QueryResult is one query's timing and counters.
+type QueryResult struct {
+	ID      string
+	Start   sim.Time
+	End     sim.Time
+	Elapsed sim.Duration
+
+	BufferHits   uint64
+	OSCopies     uint64
+	DiskReads    uint64 // foreground (executor-blocking) disk reads
+	Prefetched   uint64 // pages the prefetcher brought in
+	PrefetchSkip uint64 // prefetches skipped (already buffered / dropped)
+}
+
+// RunResult aggregates a replay.
+type RunResult struct {
+	Queries []QueryResult
+	Buffer  buffer.Stats
+	OS      oscache.Stats
+	Disk    uint64 // total device reads including readahead and prefetch
+	End     sim.Time
+}
+
+// Elapsed returns the result for query id, panicking if absent (harness
+// bookkeeping bug).
+func (r *RunResult) Elapsed(id string) sim.Duration {
+	for i := range r.Queries {
+		if r.Queries[i].ID == id {
+			return r.Queries[i].Elapsed
+		}
+	}
+	panic("replay: no result for query " + id)
+}
+
+// TotalElapsed sums all queries' elapsed times (used by the multi-query
+// speedup experiments, which compare aggregate time).
+func (r *RunResult) TotalElapsed() sim.Duration {
+	var total sim.Duration
+	for i := range r.Queries {
+		total += r.Queries[i].Elapsed
+	}
+	return total
+}
+
+// Run replays the queries against a cold buffer pool and OS cache.
+func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	disk := sim.NewDisk(cfg.Cost.DiskRead, cfg.Cost.IOWorkers)
+	pool := buffer.New(cfg.BufferPages, cfg.BufferPolicy)
+	osc := oscache.New(cfg.OSCachePages, cfg.ReadaheadMax)
+
+	res := &RunResult{Queries: make([]QueryResult, len(queries))}
+	for i := range queries {
+		q := &queries[i]
+		res.Queries[i].ID = q.ID
+		qr := &runner{
+			eng: eng, disk: disk, pool: pool, osc: osc, reg: reg,
+			cfg: cfg, spec: q, result: &res.Queries[i],
+		}
+		eng.At(sim.Time(q.Arrival), qr.start)
+	}
+	res.End = eng.Run()
+	res.Buffer = pool.Stats()
+	res.OS = osc.Stats()
+	res.Disk = disk.Reads()
+	return res
+}
+
+// runner executes one query (executor process + optional prefetcher).
+type runner struct {
+	eng  *sim.Engine
+	disk *sim.Disk
+	pool *buffer.Pool
+	osc  *oscache.Cache
+	reg  *storage.Registry
+	cfg  Config
+	spec *QuerySpec
+
+	result *QueryResult
+
+	execStream *oscache.Stream
+	pf         *prefetcher
+	reqIdx     int
+}
+
+func (r *runner) objPages(p storage.PageID) storage.PageNum {
+	obj := r.reg.Lookup(p.Object)
+	if obj == nil {
+		panic(fmt.Sprintf("replay: request for unknown object %d", p.Object))
+	}
+	return obj.Pages
+}
+
+func (r *runner) start() {
+	r.result.Start = r.eng.Now()
+	r.execStream = r.osc.NewStream()
+	if len(r.spec.Prefetch) > 0 {
+		window := r.spec.Window
+		if window <= 0 {
+			window = r.cfg.DefaultWindow
+		}
+		r.pf = newPrefetcher(r, r.spec.Prefetch, window)
+		// Prediction latency gates the prefetcher, not the executor: model
+		// inference runs on the side while execution begins (§3.3).
+		r.eng.Schedule(r.cfg.Cost.PredictLatency, r.pf.start)
+	}
+	r.eng.Schedule(0, r.step)
+}
+
+// step services request reqIdx and schedules the next one at its completion
+// time.
+func (r *runner) step() {
+	if r.reqIdx >= len(r.spec.Requests) {
+		r.finish()
+		return
+	}
+	req := r.spec.Requests[r.reqIdx]
+	r.reqIdx++
+
+	cost := r.cfg.Cost
+	delay := cost.CPUPerRequest + sim.Duration(req.Tuples)*cost.CPUPerTuple
+
+	if r.pool.Get(req.Page) {
+		r.result.BufferHits++
+		delay += cost.BufferHit
+	} else {
+		hit, readahead := r.osc.Read(r.execStream, req.Page, r.objPages(req.Page))
+		// Kernel readahead occupies device channels in the background
+		// without blocking the foreground read; it streams at the
+		// sequential-transfer rate (no seeks within a run).
+		now := r.eng.Now()
+		for range readahead {
+			r.disk.ReadWith(now, cost.SeqDiskRead)
+		}
+		if hit {
+			r.result.OSCopies++
+			delay += cost.OSCacheCopy
+		} else {
+			r.result.DiskReads++
+			done := r.disk.Read(now)
+			delay += done.Sub(now) + cost.OSCacheCopy
+		}
+		r.pool.Insert(req.Page, false)
+	}
+
+	// The dummy AIO request: executor progress releases one prefetched page
+	// so the prefetcher can initiate the next (§4, "Decoupling AIO from
+	// Postgres read call").
+	if r.pf != nil {
+		r.pf.onExecutorRead(req.Page)
+	}
+	r.eng.Schedule(delay, r.step)
+}
+
+func (r *runner) finish() {
+	r.result.End = r.eng.Now()
+	r.result.Elapsed = r.result.End.Sub(r.result.Start)
+	if r.pf != nil {
+		r.pf.shutdown()
+	}
+}

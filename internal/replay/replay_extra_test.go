@@ -1,0 +1,130 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/buffer"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func TestConfigDefaultsFilled(t *testing.T) {
+	c := (Config{}).withDefaults()
+	if c.BufferPages != 1024 || c.OSCachePages != 4096 {
+		t.Fatalf("size defaults wrong: %+v", c)
+	}
+	if c.PrefetchWorkers != 4 || c.DefaultWindow != 1024 {
+		t.Fatalf("prefetch defaults wrong: %+v", c)
+	}
+	if c.Cost.DiskRead == 0 {
+		t.Fatal("cost model default missing")
+	}
+	// Explicit values are preserved.
+	c2 := (Config{BufferPages: 77, OSCachePages: 99, PrefetchWorkers: 2, DefaultWindow: 5}).withDefaults()
+	if c2.BufferPages != 77 || c2.OSCachePages != 99 || c2.PrefetchWorkers != 2 || c2.DefaultWindow != 5 {
+		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+}
+
+func TestZeroWindowUsesDefault(t *testing.T) {
+	reg := testRegistry()
+	reqs := script(reg, 100, 100, 21)
+	c := cfg()
+	c.DefaultWindow = 4
+	res := Run(reg, c, []QuerySpec{{
+		ID: "q", Requests: reqs, Prefetch: nonSeqPages(reqs), // Window: 0
+	}})
+	if res.Elapsed("q") <= 0 {
+		t.Fatal("query with defaulted window did not run")
+	}
+	if res.Queries[0].Prefetched == 0 {
+		t.Fatal("no prefetches with defaulted window")
+	}
+}
+
+func TestEmptyRequestListCompletesImmediately(t *testing.T) {
+	reg := testRegistry()
+	res := Run(reg, cfg(), []QuerySpec{{ID: "noop"}})
+	if res.Elapsed("noop") != 0 {
+		t.Fatalf("empty query elapsed %v", res.Elapsed("noop"))
+	}
+}
+
+func TestPrefetchOfUnrequestedPagesHarmless(t *testing.T) {
+	reg := testRegistry()
+	reqs := script(reg, 300, 300, 22)
+	// Prefetch entirely wrong pages: correctness must hold (the paper's
+	// "an incorrectly predicted page does not affect performance unless it
+	// evicts a page required from the buffer").
+	dim := reg.LookupName("dim")
+	var wrong []storage.PageID
+	for i := 0; i < 200; i++ {
+		wrong = append(wrong, storage.PageID{Object: dim.ID, Page: storage.PageNum(10000 + i)})
+	}
+	dflt := Run(reg, cfg(), []QuerySpec{{ID: "q", Requests: reqs}})
+	bad := Run(reg, cfg(), []QuerySpec{{ID: "q", Requests: reqs, Prefetch: wrong, Window: 64}})
+	// With a large buffer the regression must be negligible (< 10%).
+	if float64(bad.Elapsed("q")) > float64(dflt.Elapsed("q"))*1.1 {
+		t.Fatalf("wrong prefetches caused regression: %v vs %v", bad.Elapsed("q"), dflt.Elapsed("q"))
+	}
+	// The script's probes are uniform over the dimension, so a handful of
+	// accidental collisions with the "wrong" range are possible — but no
+	// more than that.
+	if bad.Buffer.PrefetchHits > 5 {
+		t.Fatalf("wrong prefetches counted as useful: %d hits", bad.Buffer.PrefetchHits)
+	}
+}
+
+func TestMRUPolicyRuns(t *testing.T) {
+	reg := testRegistry()
+	reqs := script(reg, 100, 200, 23)
+	for _, pol := range []buffer.Policy{buffer.Clock, buffer.LRU, buffer.MRU} {
+		c := cfg()
+		c.BufferPolicy = pol
+		c.BufferPages = 128
+		res := Run(reg, c, []QuerySpec{{
+			ID: "q", Requests: reqs, Prefetch: nonSeqPages(reqs), Window: 32,
+		}})
+		if res.Elapsed("q") <= 0 {
+			t.Fatalf("%v replay failed", pol)
+		}
+	}
+}
+
+func TestDiskContentionBetweenQueries(t *testing.T) {
+	reg := testRegistry()
+	reqs := script(reg, 0, 400, 24)
+	c := cfg()
+	c.Cost = sim.DefaultCostModel()
+	c.Cost.IOWorkers = 1 // a single service channel maximizes contention
+	solo := Run(reg, c, []QuerySpec{{ID: "a", Requests: reqs}})
+	// A second query with disjoint pages (different seed) contends for the
+	// only disk channel, so each query runs slower than alone.
+	reqsB := script(reg, 0, 400, 25)
+	both := Run(reg, c, []QuerySpec{
+		{ID: "a", Requests: reqs},
+		{ID: "b", Requests: reqsB},
+	})
+	if both.Elapsed("a") <= solo.Elapsed("a") {
+		t.Fatalf("no contention visible: solo %v, contended %v", solo.Elapsed("a"), both.Elapsed("a"))
+	}
+}
+
+func TestPredictLatencyDelaysPrefetchOnly(t *testing.T) {
+	reg := testRegistry()
+	reqs := script(reg, 10, 10, 26)
+	c := cfg()
+	c.Cost = sim.DefaultCostModel()
+	c.Cost.PredictLatency = time.Hour // absurdly slow model
+	dflt := Run(reg, c, []QuerySpec{{ID: "q", Requests: reqs}})
+	pref := Run(reg, c, []QuerySpec{{ID: "q", Requests: reqs, Prefetch: nonSeqPages(reqs)}})
+	// The query finishes long before the "model" does: no prefetch benefit,
+	// but crucially no blocking on the model either.
+	if pref.Elapsed("q") > dflt.Elapsed("q")*2 {
+		t.Fatalf("prediction latency blocked the query: %v vs %v", pref.Elapsed("q"), dflt.Elapsed("q"))
+	}
+	if pref.Queries[0].Prefetched > 0 {
+		t.Fatal("prefetches landed before the hour-long prediction finished")
+	}
+}

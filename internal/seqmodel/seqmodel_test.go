@@ -1,0 +1,177 @@
+package seqmodel
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/metrics"
+	"github.com/pythia-db/pythia/internal/storage"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+func t91Workload(t *testing.T) *workload.Workload {
+	t.Helper()
+	g := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	return g.Workload("t91", 24, 1) // the paper trains the seq baseline on t91
+}
+
+func TestNonSeqSequenceVariants(t *testing.T) {
+	w := t91Workload(t)
+	inst := w.Instances[0]
+	raw := NonSeqSequence(inst, false)
+	dedup := NonSeqSequence(inst, true)
+	if len(raw) < len(dedup) {
+		t.Fatalf("raw (%d) shorter than dedup (%d)", len(raw), len(dedup))
+	}
+	if len(dedup) != len(inst.Pages) {
+		t.Fatalf("dedup sequence (%d) disagrees with trace set (%d)", len(dedup), len(inst.Pages))
+	}
+	seen := map[storage.PageID]bool{}
+	for _, p := range dedup {
+		if seen[p] {
+			t.Fatal("dedup sequence has repeats")
+		}
+		seen[p] = true
+	}
+	for _, r := range inst.Requests {
+		if r.Sequential {
+			for _, p := range raw {
+				if p == r.Page {
+					t.Fatal("sequential page leaked into sequence")
+				}
+			}
+			break
+		}
+	}
+}
+
+func seqsOf(insts []*workload.Instance, dedup bool) [][]storage.PageID {
+	out := make([][]storage.PageID, len(insts))
+	for i, inst := range insts {
+		out[i] = NonSeqSequence(inst, dedup)
+	}
+	return out
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	w := t91Workload(t)
+	train, test := w.Split(0.2, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := Train(seqsOf(train, true), cfg)
+	if m.TrainTime <= 0 {
+		t.Fatal("TrainTime not recorded")
+	}
+	if m.VocabSize() < 10 {
+		t.Fatalf("vocab size %d too small", m.VocabSize())
+	}
+	var inst *workload.Instance
+	for _, cand := range test {
+		if len(cand.Pages) >= 8 {
+			inst = cand
+			break
+		}
+	}
+	if inst == nil {
+		// Tiny scale can yield only near-empty traces in the holdout; use a
+		// training instance for the mechanics check instead.
+		for _, cand := range train {
+			if len(cand.Pages) >= 8 {
+				inst = cand
+				break
+			}
+		}
+	}
+	if inst == nil {
+		t.Skip("no instance with enough non-sequential reads at this scale")
+	}
+	seedLen := len(inst.Pages) / 4
+	pred := m.PredictFrom(NonSeqSequence(inst, true)[:seedLen], len(inst.Pages))
+	if len(pred) == 0 {
+		t.Fatal("no predictions generated")
+	}
+	for i := 1; i < len(pred); i++ {
+		if pred[i].Less(pred[i-1]) {
+			t.Fatal("predictions not sorted")
+		}
+	}
+	if m.InferredTokens == 0 || m.PerTokenInferCost() <= 0 {
+		t.Fatal("inference cost not recorded")
+	}
+}
+
+// TestSequenceModelLearnsSomething: on a workload of repeated similar
+// queries, the model's predicted set should beat a random baseline clearly.
+func TestSequenceModelBeatsChance(t *testing.T) {
+	w := t91Workload(t)
+	train, test := w.Split(0.2, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 6
+	m := Train(seqsOf(train, true), cfg)
+
+	var f1s []float64
+	for _, inst := range test {
+		seq := NonSeqSequence(inst, true)
+		if len(seq) < 8 {
+			continue
+		}
+		pred := m.PredictFrom(seq[:len(seq)/4], len(seq))
+		f1s = append(f1s, metrics.Score(pred, inst.Pages).F1)
+	}
+	if len(f1s) == 0 {
+		t.Skip("no test instances with enough accesses")
+	}
+	mean := metrics.Summarize(f1s).Mean
+	// Chance level: predicting |truth| blocks from a vocabulary of
+	// thousands would score near zero.
+	if mean < 0.05 {
+		t.Fatalf("sequence model F1 = %.3f, indistinguishable from chance", mean)
+	}
+}
+
+func TestStepwiseInferenceCostStructure(t *testing.T) {
+	w := t91Workload(t)
+	train, _ := w.Split(0.2, 3)
+	m := Train(seqsOf(train, true), DefaultConfig())
+	m.Predict(50)
+	if m.InferredTokens < 40 {
+		t.Fatalf("generated only %d tokens", m.InferredTokens)
+	}
+	// The defining property: inference cost grows with generated length.
+	before := m.InferTime
+	m.Predict(100)
+	if m.InferTime <= before {
+		t.Fatal("second generation did not accumulate cost")
+	}
+}
+
+func TestMaxGenerateCap(t *testing.T) {
+	w := t91Workload(t)
+	train, _ := w.Split(0.2, 3)
+	cfg := DefaultConfig()
+	cfg.MaxGenerate = 10
+	cfg.Epochs = 1
+	m := Train(seqsOf(train, true), cfg)
+	if got := m.Predict(1000); len(got) > 10 {
+		t.Fatalf("generation exceeded cap: %d", len(got))
+	}
+}
+
+func TestEmptyTrainingSequencesSkipped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	m := Train([][]storage.PageID{nil, {}}, cfg)
+	if m.VocabSize() != 1 { // BOS only
+		t.Fatalf("vocab = %d", m.VocabSize())
+	}
+	if got := m.Predict(5); len(got) != 0 {
+		t.Fatalf("empty-vocab model predicted %d blocks", len(got))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (Config{}).withDefaults()
+	if c.Context != 32 || c.Dim == 0 || c.Epochs == 0 || c.MaxGenerate == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,256 @@
+package serialize
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/index"
+	"github.com/pythia-db/pythia/internal/plan"
+)
+
+func starDB() *catalog.Database {
+	db := catalog.NewDatabase()
+	db.AddRelation("sales", 1000, 10, []catalog.Column{
+		{Name: "s_sk", Gen: catalog.Serial{}},
+		{Name: "s_item_fk", Gen: catalog.Uniform{Lo: 0, Hi: 200, Seed: 1}},
+		{Name: "s_amount", Gen: catalog.Uniform{Lo: 0, Hi: 1000, Seed: 3}},
+	})
+	item := db.AddRelation("item", 200, 10, []catalog.Column{
+		{Name: "i_sk", Gen: catalog.Serial{}},
+		{Name: "i_cat", Gen: catalog.Uniform{Lo: 0, Hi: 10, Seed: 4}},
+	})
+	db.BuildIndex(item, "i_sk", index.Config{LeafCap: 8, Fanout: 4})
+	return db
+}
+
+func mkPlan(db *catalog.Database, amountLo, amountHi int64, forceIndex bool) *plan.Node {
+	pl := plan.NewPlanner(db)
+	return pl.Plan(plan.Query{
+		Fact:      "sales",
+		FactPreds: []plan.Pred{plan.Between("s_amount", amountLo, amountHi)},
+		Dims: []plan.DimJoin{{
+			Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk",
+			ForceIndex: forceIndex, ForceHash: !forceIndex,
+			Preds: []plan.Pred{plan.Eq("i_cat", 3)},
+		}},
+	})
+}
+
+func TestSerializeStructure(t *testing.T) {
+	db := starDB()
+	toks := Serialize(mkPlan(db, 0, 99, true), DefaultConfig())
+	if toks[0] != TokenCLS {
+		t.Fatalf("first token = %q, want CLS", toks[0])
+	}
+	want := []string{"[AGG]", "[NLJ]", "[SEQ]", "o:sales", "[PRED]", "[IDX]", "o:item_i_sk_idx", "o:item"}
+	i := 0
+	for _, w := range want {
+		found := false
+		for ; i < len(toks); i++ {
+			if toks[i] == w {
+				found = true
+				i++
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("token %q missing (in order) from %v", w, toks)
+		}
+	}
+}
+
+func TestSerializeScanTypeDiffers(t *testing.T) {
+	db := starDB()
+	nlj := Serialize(mkPlan(db, 0, 99, true), DefaultConfig())
+	hj := Serialize(mkPlan(db, 0, 99, false), DefaultConfig())
+	same := len(nlj) == len(hj)
+	if same {
+		for i := range nlj {
+			if nlj[i] != hj[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("NLJ and HJ plans serialized identically")
+	}
+	// Hash-join plan contains [HJ], no [IDX].
+	hasHJ, hasIDX := false, false
+	for _, tok := range hj {
+		if tok == "[HJ]" {
+			hasHJ = true
+		}
+		if tok == "[IDX]" {
+			hasIDX = true
+		}
+	}
+	if !hasHJ || hasIDX {
+		t.Fatalf("hash plan tokens wrong: %v", hj)
+	}
+}
+
+func TestValueBucketing(t *testing.T) {
+	db := starDB()
+	cfg := Config{ValueBuckets: 10}
+	// With 10 base buckets over the [0,1000) domain the finest resolution is
+	// 40 buckets (width 25): values 5 and 20 share every resolution's bucket.
+	a := Serialize(mkPlan(db, 5, 5, true), cfg)
+	b := Serialize(mkPlan(db, 20, 20, true), cfg)
+	if !equalToks(a, b) {
+		t.Fatalf("same-bucket constants serialized differently:\n%v\n%v", a, b)
+	}
+	c := Serialize(mkPlan(db, 505, 505, true), cfg)
+	if equalToks(a, c) {
+		t.Fatal("different-bucket constants serialized identically")
+	}
+	// Nearby constants in different fine buckets still share their coarse
+	// token (the multi-resolution property).
+	d := Serialize(mkPlan(db, 5, 5, true), cfg)
+	e := Serialize(mkPlan(db, 80, 80, true), cfg)
+	shared := 0
+	em := map[string]bool{}
+	for _, tok := range e {
+		em[tok] = true
+	}
+	for _, tok := range d {
+		if len(tok) > 2 && tok[0] == 'v' && em[tok] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("nearby constants share no value tokens at any resolution")
+	}
+}
+
+func equalToks(a, b []Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangePredicateEmitsBothBounds(t *testing.T) {
+	db := starDB()
+	toks := Serialize(mkPlan(db, 100, 300, true), DefaultConfig())
+	hasGE, hasLE := false, false
+	for _, tok := range toks {
+		if tok == "op:>=" {
+			hasGE = true
+		}
+		if tok == "op:<=" {
+			hasLE = true
+		}
+	}
+	if !hasGE || !hasLE {
+		t.Fatalf("range predicate bounds missing: %v", toks)
+	}
+}
+
+func TestOpenBoundTokens(t *testing.T) {
+	db := starDB()
+	pl := plan.NewPlanner(db)
+	root := pl.Plan(plan.Query{
+		Fact:      "sales",
+		FactPreds: []plan.Pred{plan.AtLeast("s_amount", 500)},
+	})
+	toks := Serialize(root, DefaultConfig())
+	for _, tok := range toks {
+		if tok == "op:<=" {
+			t.Fatal("open upper bound still serialized")
+		}
+	}
+}
+
+func TestVocabEncodeRoundTrip(t *testing.T) {
+	v := NewVocab()
+	toks := []Token{"[AGG]", "o:sales", "v:x#3", "o:sales"}
+	ids := v.Encode(toks)
+	if ids[1] != ids[3] {
+		t.Fatal("same token got different ids")
+	}
+	for i, id := range ids {
+		if v.Token(id) != toks[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+	if v.Size() < 6 { // 3 reserved + 3 distinct
+		t.Fatalf("Size = %d", v.Size())
+	}
+}
+
+func TestVocabFreezeMapsUnknownToUnk(t *testing.T) {
+	v := NewVocab()
+	v.AddAll([]Token{"a", "b"})
+	v.Freeze()
+	pre := v.Size()
+	ids := v.Encode([]Token{"a", "zzz"})
+	if v.Size() != pre {
+		t.Fatal("frozen vocab grew")
+	}
+	if v.Token(ids[1]) != TokenUnk {
+		t.Fatalf("unknown token encoded as %q", v.Token(ids[1]))
+	}
+	if v.Token(ids[0]) != "a" {
+		t.Fatal("known token mangled after freeze")
+	}
+	if v.Token(-1) != TokenUnk || v.Token(9999) != TokenUnk {
+		t.Fatal("out-of-range Token() should return UNK")
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	db := starDB()
+	a := Serialize(mkPlan(db, 0, 99, true), DefaultConfig())
+	b := Serialize(mkPlan(db, 0, 99, true), DefaultConfig())
+	if !equalToks(a, b) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestZeroBucketConfigDefaults(t *testing.T) {
+	if (Config{}).buckets() != 32 {
+		t.Fatal("zero config should default to 32 buckets")
+	}
+}
+
+func TestVocabTokensRoundTrip(t *testing.T) {
+	v := NewVocab()
+	v.AddAll([]Token{"a", "b", "c"})
+	v.Freeze()
+	restored, err := VocabFromTokens(v.Tokens())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != v.Size() {
+		t.Fatal("size mismatch after round trip")
+	}
+	ids1 := v.Encode([]Token{"a", "c", "zzz"})
+	ids2 := restored.Encode([]Token{"a", "c", "zzz"})
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatal("restored vocab encodes differently")
+		}
+	}
+	// Restored vocabularies are frozen.
+	if restored.Encode([]Token{"brand-new"})[0] != restored.Encode([]Token{TokenUnk})[0] {
+		t.Fatal("restored vocab not frozen")
+	}
+}
+
+func TestVocabFromTokensRejectsBadInput(t *testing.T) {
+	if _, err := VocabFromTokens(nil); err == nil {
+		t.Fatal("empty token list accepted")
+	}
+	if _, err := VocabFromTokens([]string{"x", "y", "z"}); err == nil {
+		t.Fatal("missing reserved prefix accepted")
+	}
+	if _, err := VocabFromTokens([]string{TokenPad, TokenUnk, TokenCLS, "a", "a"}); err == nil {
+		t.Fatal("duplicate token accepted")
+	}
+}

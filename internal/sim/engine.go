@@ -1,0 +1,86 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of scheduled work on the virtual timeline.
+type Event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. Actors (query
+// replays, prefetch workers, the disk) schedule callbacks; Run dispatches
+// them in timestamp order, advancing the shared Clock. Determinism comes from
+// the (time, sequence) total order: two events at the same instant run in the
+// order they were scheduled.
+type Engine struct {
+	Clock Clock
+	pq    eventHeap
+	seq   uint64
+	steps uint64
+}
+
+// NewEngine returns an empty engine at the simulation epoch.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.Clock.Now() }
+
+// Schedule runs fn after delay. A negative delay panics: events cannot be
+// scheduled in the past.
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		panic("sim: Schedule with negative delay")
+	}
+	e.At(e.Now().Add(delay), fn)
+}
+
+// At runs fn at absolute virtual time t, which must not precede the current
+// time.
+func (e *Engine) At(t Time, fn func()) {
+	if t.Before(e.Now()) {
+		panic("sim: At with time in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, &Event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() Time {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		e.Clock.AdvanceTo(ev.at)
+		e.steps++
+		ev.fn()
+	}
+	return e.Now()
+}
+
+// Steps returns the number of events dispatched so far; useful for tests and
+// for asserting that simulations terminate.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.pq) }

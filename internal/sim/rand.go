@@ -1,0 +1,187 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xoshiro256**). Every stochastic component in the
+// repository (data generators, query samplers, model initialization, Poisson
+// arrivals) draws from a Rand seeded explicitly, so that experiments are
+// reproducible bit-for-bit across runs and machines.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded deterministically from seed.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 expansion of the seed into the xoshiro state, as recommended
+	// by the xoshiro authors to avoid correlated low-entropy states.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Split derives an independent generator from r. The child stream is a pure
+// function of r's current state, so deriving per-component generators keeps
+// components decoupled: adding draws to one does not perturb another.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1. Scale by 1/λ for
+// rate λ; used by the Poisson arrival sampler in the concurrency experiments.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes n elements in place using swap (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent s >= 0.
+// s = 0 degenerates to uniform; larger s concentrates mass on small ranks.
+// It uses inverse-CDF sampling over a lazily built cumulative table, which is
+// exact and fast for the table sizes the data generators use.
+type Zipf struct {
+	r   *Rand
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Poisson samples a Poisson variate with mean lambda (Knuth's method for
+// small lambda, normal approximation above 30). Used to derive integer
+// counts in the synthetic data generators.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
+	if got := c.Now(); got != Time(15*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 15ms", got)
+	}
+	c.AdvanceTo(Time(20 * time.Millisecond))
+	if got := c.Now(); got != Time(20*time.Millisecond) {
+		t.Fatalf("AdvanceTo: Now() = %v, want 20ms", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset: Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Second)
+}
+
+func TestClockBackwardAdvanceToPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward AdvanceTo did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(time.Second)
+	c.AdvanceTo(Time(time.Millisecond))
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(time.Second)
+	b := a.Add(500 * time.Millisecond)
+	if b.Sub(a) != 500*time.Millisecond {
+		t.Fatalf("Sub = %v, want 500ms", b.Sub(a))
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After disagree with ordering")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 equal draws", same)
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	r := NewRand(7)
+	child := r.Split()
+	// Drawing from the child must not perturb the parent's future stream.
+	r2 := NewRand(7)
+	_ = r2.Split()
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatalf("parent stream perturbed by child draws at %d", i)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn(10) heavily skewed: value %d drawn %d/10000", v, c)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(11)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf(1.2) not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Uniform case: exponent 0 should be roughly flat.
+	z0 := NewZipf(r, 10, 0)
+	c0 := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		c0[z0.Next()]++
+	}
+	sort.Ints(c0)
+	if c0[0] < 700 || c0[9] > 1300 {
+		t.Fatalf("Zipf(0) not ~uniform: %v", c0)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(3)
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %f, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(9)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("exponential mean = %f, want ~1", mean)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := NewRand(13)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		n := 5000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-lambda) > 0.15*lambda+0.1 {
+			t.Fatalf("Poisson(%v) mean = %f", lambda, mean)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(2*time.Millisecond, func() {
+		order = append(order, 2)
+		// Nested scheduling during the run.
+		e.Schedule(0, func() { order = append(order, 20) })
+	})
+	end := e.Run()
+	want := []int{1, 2, 20, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != Time(3*time.Millisecond) {
+		t.Fatalf("Run ended at %v, want 3ms", end)
+	}
+	if e.Steps() != 4 {
+		t.Fatalf("Steps = %d, want 4", e.Steps())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Clock.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	e.At(Time(time.Millisecond), func() {})
+}
+
+func TestDiskSerialization(t *testing.T) {
+	d := NewDisk(10*time.Millisecond, 1)
+	t1 := d.Read(0)
+	t2 := d.Read(0)
+	t3 := d.Read(t2)
+	if t1 != Time(10*time.Millisecond) {
+		t.Fatalf("first read done at %v", t1)
+	}
+	if t2 != Time(20*time.Millisecond) {
+		t.Fatalf("second read (queued) done at %v, want 20ms", t2)
+	}
+	if t3 != Time(30*time.Millisecond) {
+		t.Fatalf("third read done at %v, want 30ms", t3)
+	}
+	if d.Reads() != 3 {
+		t.Fatalf("Reads = %d", d.Reads())
+	}
+}
+
+func TestDiskParallelChannels(t *testing.T) {
+	d := NewDisk(10*time.Millisecond, 4)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		done = append(done, d.Read(0))
+	}
+	for _, dt := range done {
+		if dt != Time(10*time.Millisecond) {
+			t.Fatalf("parallel reads should all finish at 10ms, got %v", done)
+		}
+	}
+	// Fifth read queues behind one of the four.
+	if d5 := d.Read(0); d5 != Time(20*time.Millisecond) {
+		t.Fatalf("queued read done at %v, want 20ms", d5)
+	}
+	d.Reset()
+	if d.Reads() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if dt := d.Read(0); dt != Time(10*time.Millisecond) {
+		t.Fatalf("post-Reset read done at %v", dt)
+	}
+}
+
+func TestDefaultCostModelOrdering(t *testing.T) {
+	cm := DefaultCostModel()
+	if !(cm.DiskRead > cm.OSCacheCopy && cm.OSCacheCopy > cm.BufferHit) {
+		t.Fatalf("cost ordering violated: %+v", cm)
+	}
+	if cm.IOWorkers <= 0 {
+		t.Fatal("IOWorkers must be positive")
+	}
+}

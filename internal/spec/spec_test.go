@@ -1,0 +1,105 @@
+package spec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/plan"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func TestToQueryBounds(t *testing.T) {
+	q, err := (QuerySpec{
+		Fact: "f",
+		FactPreds: []Pred{
+			{Col: "a", Lo: i64(1), Hi: i64(5)},
+			{Col: "b", Lo: i64(10)},
+			{Col: "c", Hi: i64(3)},
+		},
+	}).ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FactPreds[0] != plan.Between("a", 1, 5) {
+		t.Fatalf("between wrong: %+v", q.FactPreds[0])
+	}
+	if q.FactPreds[1].Hi != math.MaxInt64 || q.FactPreds[1].Lo != 10 {
+		t.Fatalf("open-hi wrong: %+v", q.FactPreds[1])
+	}
+	if q.FactPreds[2].Lo != math.MinInt64 || q.FactPreds[2].Hi != 3 {
+		t.Fatalf("open-lo wrong: %+v", q.FactPreds[2])
+	}
+}
+
+func TestToQueryErrors(t *testing.T) {
+	cases := []QuerySpec{
+		{},                                 // missing fact
+		{Fact: "f", FactPreds: []Pred{{}}}, // predicate without col
+		{Fact: "f", FactPreds: []Pred{{Col: "a"}}},                         // no bounds
+		{Fact: "f", FactPreds: []Pred{{Col: "a", Lo: i64(9), Hi: i64(1)}}}, // inverted
+		{Fact: "f", Dims: []Dim{{Dim: "d"}}},                               // incomplete join
+		{Fact: "f", Dims: []Dim{{Dim: "d", FactFK: "k", DimKey: "s", ForceHash: true, ForceIndex: true}}},
+	}
+	for i, c := range cases {
+		if _, err := c.ToQuery(); err == nil {
+			t.Fatalf("case %d did not error", i)
+		}
+	}
+}
+
+func TestRoundTripThroughJSON(t *testing.T) {
+	g := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	for _, tpl := range g.Templates() {
+		orig := g.Queries(tpl, 3, 1)
+		for _, q := range orig {
+			var buf bytes.Buffer
+			if err := FromQuery(q).Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := decoded.ToQuery()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Fact != q.Fact || back.Template != q.Template || len(back.Dims) != len(q.Dims) {
+				t.Fatalf("%s: round trip changed structure", tpl)
+			}
+			for i := range q.FactPreds {
+				if back.FactPreds[i] != q.FactPreds[i] {
+					t.Fatalf("%s: fact pred %d changed: %+v vs %+v", tpl, i, back.FactPreds[i], q.FactPreds[i])
+				}
+			}
+			for i := range q.Dims {
+				if back.Dims[i].Dim != q.Dims[i].Dim || back.Dims[i].ForceIndex != q.Dims[i].ForceIndex {
+					t.Fatalf("%s: dim %d changed", tpl, i)
+				}
+				for j := range q.Dims[i].Preds {
+					if back.Dims[i].Preds[j] != q.Dims[i].Preds[j] {
+						t.Fatalf("%s: dim pred changed", tpl)
+					}
+				}
+			}
+			// The round-tripped query plans to the same shape.
+			pl := plan.NewPlanner(g.DB())
+			if pl.Plan(back).Shape() != pl.Plan(q).Shape() {
+				t.Fatalf("%s: round trip changed plan shape", tpl)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"fact":"f","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package workload_test
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+func testWorkload(t *testing.T, tpl string, n int) *workload.Workload {
+	t.Helper()
+	g := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	return g.Workload(tpl, n, 1)
+}
+
+func TestBuildPopulatesInstances(t *testing.T) {
+	w := testWorkload(t, "t91", 10)
+	if len(w.Instances) != 10 {
+		t.Fatalf("instances = %d", len(w.Instances))
+	}
+	for i, inst := range w.Instances {
+		if inst.Plan == nil || inst.Trace == nil {
+			t.Fatalf("instance %d incomplete", i)
+		}
+		if len(inst.Requests) == 0 {
+			t.Fatalf("instance %d has no requests", i)
+		}
+		if len(inst.Pages) != inst.Trace.Count() {
+			t.Fatalf("instance %d cached Pages out of sync", i)
+		}
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	w := testWorkload(t, "t18", 20)
+	train, test := w.Split(0.25, 3)
+	if len(test) != 5 || len(train) != 15 {
+		t.Fatalf("split sizes: train=%d test=%d", len(train), len(test))
+	}
+	seen := map[*workload.Instance]bool{}
+	for _, i := range append(append([]*workload.Instance{}, train...), test...) {
+		if seen[i] {
+			t.Fatal("instance in both splits")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 20 {
+		t.Fatal("split lost instances")
+	}
+	// Deterministic in seed.
+	train2, _ := w.Split(0.25, 3)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Tiny fractions still hold out at least one query.
+	_, testOne := w.Split(0.01, 3)
+	if len(testOne) != 1 {
+		t.Fatalf("minimum holdout violated: %d", len(testOne))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	a := g.Workload("t18", 5, 1)
+	b := g.Workload("t19", 5, 2)
+	m := workload.Merge("hetero", a, b)
+	if len(m.Instances) != 10 {
+		t.Fatalf("merged instances = %d", len(m.Instances))
+	}
+	if m.DB != a.DB {
+		t.Fatal("merged DB wrong")
+	}
+}
+
+func TestMergePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty Merge did not panic")
+			}
+		}()
+		workload.Merge("x")
+	}()
+	g1 := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 7})
+	g2 := dsb.NewGenerator(dsb.Config{ScaleFactor: 5, Seed: 8})
+	a := g1.Workload("t91", 2, 1)
+	b := g2.Workload("t91", 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-database Merge did not panic")
+		}
+	}()
+	workload.Merge("x", a, b)
+}
+
+func TestSubsample(t *testing.T) {
+	w := testWorkload(t, "t91", 12)
+	half := workload.Subsample(w.Instances, 0.5, 9)
+	if len(half) != 6 {
+		t.Fatalf("subsample = %d", len(half))
+	}
+	if got := workload.Subsample(w.Instances, 2.0, 9); len(got) != 12 {
+		t.Fatal("overfull subsample should return all")
+	}
+	if got := workload.Subsample(w.Instances, 0.0001, 9); len(got) != 1 {
+		t.Fatal("tiny subsample should keep one")
+	}
+	// Deterministic.
+	again := workload.Subsample(w.Instances, 0.5, 9)
+	for i := range half {
+		if half[i] != again[i] {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	w := testWorkload(t, "t91", 8)
+	a, b := w.Instances[0], w.Instances[1]
+	if workload.Similarity(a, a) != 1 {
+		t.Fatal("self similarity != 1")
+	}
+	if workload.Similarity(a, b) != workload.Similarity(b, a) {
+		t.Fatal("similarity asymmetric")
+	}
+	s := workload.AvgSimilarity(a, w.Instances[1:])
+	if s < 0 || s > 1 {
+		t.Fatalf("avg similarity %f out of range", s)
+	}
+	if workload.AvgSimilarity(a, nil) != 0 {
+		t.Fatal("empty-train similarity should be 0")
+	}
+}
+
+func TestNonSeqReads(t *testing.T) {
+	w := testWorkload(t, "t91", 4)
+	for _, inst := range w.Instances {
+		if workload.NonSeqReads(inst) != len(inst.Pages) {
+			t.Fatal("NonSeqReads disagrees with Pages")
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	w := testWorkload(t, "t91", 10)
+	st := w.ComputeStats()
+	if st.SeqIO <= 0 {
+		t.Fatal("no sequential IO counted")
+	}
+	if st.MinDistinctNS > st.MaxDistinctNS {
+		t.Fatalf("min %d > max %d", st.MinDistinctNS, st.MaxDistinctNS)
+	}
+	if st.RelationsJoined != 7 {
+		t.Fatalf("t91 joins %d relations, want 7", st.RelationsJoined)
+	}
+	if st.DistinctPlans < 1 || st.DistinctPlans > 10 {
+		t.Fatalf("distinct plans = %d", st.DistinctPlans)
+	}
+	empty := &workload.Workload{}
+	est := empty.ComputeStats()
+	if est.MinDistinctNS != 0 || est.MaxDistinctNS != 0 {
+		t.Fatalf("empty workload stats: %+v", est)
+	}
+}
