@@ -30,6 +30,7 @@ func main() {
 		perTpl  = flag.Int("n", 0, "override query instances per DSB template")
 		imdbN   = flag.Int("imdb-n", 0, "override IMDB template-1a instances")
 		seed    = flag.Uint64("seed", 0, "override random seed")
+		threads = flag.Int("threads", 0, "nn kernel worker shards per model (0 = NumCPU or PYTHIA_THREADS, 1 = serial; results are identical for any value)")
 		outPath = flag.String("o", "", "also append output to this file")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	if *seed > 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Model.Threads = *threads
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

@@ -147,11 +147,14 @@ func main() {
 		sf        = flag.Int("sf", 20, "scale factor")
 		n         = flag.Int("n", 60, "training instances per template")
 		seed      = flag.Uint64("seed", 7, "seed")
+		threads   = flag.Int("threads", 0, "nn kernel worker shards per model (0 = NumCPU or PYTHIA_THREADS, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
-	sys := corepythia.New(gen.DB(), corepythia.DefaultConfig())
+	cfg := corepythia.DefaultConfig()
+	cfg.Predictor.Model.Threads = *threads
+	sys := corepythia.New(gen.DB(), cfg)
 	for _, tpl := range strings.Split(*templates, ",") {
 		tpl = strings.TrimSpace(tpl)
 		if tpl == "" {

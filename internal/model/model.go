@@ -12,6 +12,7 @@ package model
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/pythia-db/pythia/internal/nn"
 	"github.com/pythia-db/pythia/internal/sim"
@@ -32,6 +33,13 @@ type Config struct {
 	PosWeight     float64 // BCE positive-class weight (default 2)
 	Threshold     float64 // sigmoid cutoff for predicting a page (default 0.5)
 	Seed          uint64
+	// Threads is the worker-shard count for the nn compute kernels: 0
+	// selects the process default (PYTHIA_THREADS or NumCPU), 1 forces
+	// serial execution, N shards kernels N ways. Training is bitwise
+	// deterministic across all values — the kernels preserve the serial
+	// floating-point accumulation order — so Threads is purely a speed
+	// knob (asserted by TestTrainThreadsDeterminism).
+	Threads int
 }
 
 // DefaultConfig returns the scaled-down training configuration used by the
@@ -104,6 +112,17 @@ type Model struct {
 	labelIdx map[storage.PageID]int
 	enc      *nn.Encoder
 	dec      *nn.Decoder
+
+	// rt carries the model's worker pool and scratch arena. The arena is
+	// single-owner, so mu serializes Train/Predict/Scores on one model;
+	// distinct models stay fully concurrent (the predictor's fan-out), and
+	// the pools all share one process-wide worker set, so concurrent
+	// models never oversubscribe the machine.
+	rt nn.Runtime
+	mu sync.Mutex
+
+	// targetBuf is the reusable 0/1 target vector for training steps.
+	targetBuf []float64
 }
 
 // New builds an untrained model over the label space for a vocabulary of
@@ -124,6 +143,9 @@ func New(vocabSize int, labels []storage.PageID, cfg Config) *Model {
 		}, r),
 	}
 	m.dec = nn.NewDecoder("dec", cfg.Dim, cfg.DecoderHidden, len(labels), r)
+	m.rt = nn.Runtime{Pool: nn.NewPool(cfg.Threads), Arena: nn.NewArena()}
+	m.enc.SetRuntime(m.rt)
+	m.dec.SetRuntime(m.rt)
 	// Start every page logit clearly negative: almost all labels are 0 for
 	// any one query, so beginning from "predict nothing" lets training
 	// spend its gradient budget on the positives instead of first pushing
@@ -142,10 +164,16 @@ func (m *Model) ParamCount() int {
 	return nn.ParamCount(append(m.enc.Params(), m.dec.Params()...))
 }
 
-// targets builds the 0/1 vector for a sample, ignoring pages outside the
-// label space (they belong to other models or partitions).
+// targets fills the reusable 0/1 vector for a sample, ignoring pages
+// outside the label space (they belong to other models or partitions).
 func (m *Model) targets(pages []storage.PageID) []float64 {
-	t := make([]float64, len(m.Labels))
+	if m.targetBuf == nil {
+		m.targetBuf = make([]float64, len(m.Labels))
+	}
+	t := m.targetBuf
+	for i := range t {
+		t[i] = 0
+	}
 	for _, p := range pages {
 		if j, ok := m.labelIdx[p]; ok {
 			t[j] = 1
@@ -157,12 +185,14 @@ func (m *Model) targets(pages []storage.PageID) []float64 {
 // Train runs end-to-end training (encoder and decoder jointly, as in the
 // paper) over the samples and returns the final mean epoch loss.
 func (m *Model) Train(samples []Sample) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	params := append(m.enc.Params(), m.dec.Params()...)
 	opt := nn.NewAdam(m.cfg.LR, params)
 	opt.Clip = 5
 	// Sum reduction keeps the gradient scale independent of the label-space
 	// size, so models over large objects train as fast as small ones.
-	bce := nn.BCEWithLogits{PosWeight: m.cfg.PosWeight, Sum: true}
+	bce := nn.BCEWithLogits{PosWeight: m.cfg.PosWeight, Sum: true, Scratch: m.rt.Arena}
 	r := sim.NewRand(m.cfg.Seed ^ 0x5eed)
 
 	order := make([]int, len(samples))
@@ -175,6 +205,9 @@ func (m *Model) Train(samples []Sample) float64 {
 		epochLoss = 0
 		for _, i := range order {
 			s := samples[i]
+			// Recycle the previous step's activations and scratch: after
+			// the first step the forward/backward pass allocates nothing.
+			m.rt.Arena.Release()
 			opt.ZeroGrad()
 			rep := m.enc.Forward(s.TokenIDs)
 			logits := m.dec.Forward(rep)
@@ -192,8 +225,13 @@ func (m *Model) Train(samples []Sample) float64 {
 }
 
 // Predict runs one-shot inference: the pages whose sigmoid probability
-// crosses the threshold, in label (file-storage) order.
+// crosses the threshold, in label (file-storage) order. Safe for
+// concurrent callers (inference on one model is serialized; run distinct
+// models concurrently for parallel inference, as the predictor does).
 func (m *Model) Predict(tokenIDs []int) []storage.PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rt.Arena.Release()
 	logits := m.dec.Forward(m.enc.Forward(tokenIDs))
 	var out []storage.PageID
 	for j, x := range logits.Data {
@@ -206,6 +244,9 @@ func (m *Model) Predict(tokenIDs []int) []storage.PageID {
 
 // Scores returns the per-label probabilities (diagnostics and tests).
 func (m *Model) Scores(tokenIDs []int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rt.Arena.Release()
 	logits := m.dec.Forward(m.enc.Forward(tokenIDs))
 	out := make([]float64, len(logits.Data))
 	for i, x := range logits.Data {

@@ -1,0 +1,97 @@
+package nn
+
+// Arena is a free-list of sized matrices that eliminates the per-step
+// allocation churn of the training loop. model.Train runs Forward/Backward
+// once per sample per epoch; without reuse every step allocates dozens of
+// activation and scratch matrices that die immediately, and the garbage
+// collector ends up on the profile next to the matmuls themselves.
+//
+// The lifetime model is a frame arena: Get hands out matrices during one
+// training or inference step, and Release at a step boundary returns
+// everything handed out since the previous Release to the free lists. After
+// the first step, steady-state Get calls are pure recycles — zero heap
+// allocation.
+//
+// An Arena is owned by exactly one model and is NOT safe for concurrent
+// use: all Get/Release calls must come from the goroutine driving that
+// model. Parallel kernels keep this easy — worker shards only compute into
+// matrices the caller already allocated. A nil *Arena is valid and falls
+// back to plain NewMat allocation.
+type Arena struct {
+	free map[int][]*Mat // element count → reusable matrices
+	used []*Mat         // everything handed out since the last Release
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Mat)}
+}
+
+// Get returns a zeroed rows×cols matrix, recycling a previously released
+// buffer of the same element count when one exists. Nil-safe.
+func (a *Arena) Get(rows, cols int) *Mat {
+	if a == nil {
+		return NewMat(rows, cols)
+	}
+	n := rows * cols
+	if s := a.free[n]; len(s) > 0 {
+		m := s[len(s)-1]
+		s[len(s)-1] = nil
+		a.free[n] = s[:len(s)-1]
+		m.Rows, m.Cols = rows, cols
+		m.Zero()
+		a.used = append(a.used, m)
+		return m
+	}
+	m := NewMat(rows, cols)
+	a.used = append(a.used, m)
+	return m
+}
+
+// GetVec returns a zeroed 1×n matrix.
+func (a *Arena) GetVec(n int) *Mat { return a.Get(1, n) }
+
+// Release returns every matrix handed out since the previous Release to
+// the free lists. Call it at step boundaries only: matrices obtained from
+// Get must not be read or written after the Release that recycles them.
+// Nil-safe.
+func (a *Arena) Release() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.used {
+		a.free[len(m.Data)] = append(a.free[len(m.Data)], m)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+}
+
+// Live reports how many matrices are currently handed out (tests use it to
+// check step hygiene).
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.used)
+}
+
+// Runtime bundles the execution resources a module computes with: a worker
+// pool for deterministic parallel kernels and a scratch arena for
+// step-scoped matrices. The zero value is valid and means serial execution
+// with garbage-collected allocation — exactly the pre-parallelism behavior
+// — so modules work unbound, and tests can construct layers directly.
+type Runtime struct {
+	Pool  *Pool
+	Arena *Arena
+}
+
+// get allocates a zeroed rows×cols matrix from the arena (or the heap when
+// no arena is bound).
+func (rt Runtime) get(rows, cols int) *Mat { return rt.Arena.Get(rows, cols) }
+
+// add returns a + b, allocated from the runtime and computed on the pool.
+func (rt Runtime) add(a, b *Mat) *Mat {
+	dst := rt.get(a.Rows, a.Cols)
+	rt.Pool.AddInto(dst, a, b)
+	return dst
+}

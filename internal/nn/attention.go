@@ -11,15 +11,35 @@ import (
 // projected. Pythia's encoder stacks two of these with 10 heads at model
 // dimension 100 (paper §5.1); the experiment configs scale the dimensions
 // down but keep the architecture.
+//
+// Heads are independent by construction, so Forward and Backward fan the
+// per-head work out across the worker pool (Pool.Run): each head task
+// computes with serial kernels into scratch the caller pre-allocated, and
+// writes only its own head's column block of the shared outputs. The
+// per-head math is byte-for-byte the serial loop body, so results are
+// bitwise identical at any thread count.
 type MHSA struct {
 	D, H, Dh int
 	Wq, Wk   *Linear
 	Wv, Wo   *Linear
 
+	rt Runtime
+
 	// caches for backward
 	q, k, v *Mat
 	attn    []*Mat // per-head attention probabilities (n×n)
 	concat  *Mat
+
+	// Per-head scratch pointer slices, retained across steps so the only
+	// per-step allocations are arena recycles. The matrices they point at
+	// come from the arena each step; only the slice headers persist.
+	qh, kh, vh, oh []*Mat
+	bs             []headScratch
+}
+
+// headScratch is one head's backward-pass scratch.
+type headScratch struct {
+	doh, qh, kh, vh, dvh, dattn, dscores, dqh, dkh *Mat
 }
 
 // NewMHSA builds an attention block. D must be divisible by H.
@@ -36,6 +56,15 @@ func NewMHSA(name string, d, heads int, r *sim.Rand) *MHSA {
 	}
 }
 
+// SetRuntime binds execution resources for the block and its projections.
+func (a *MHSA) SetRuntime(rt Runtime) {
+	a.rt = rt
+	a.Wq.SetRuntime(rt)
+	a.Wk.SetRuntime(rt)
+	a.Wv.SetRuntime(rt)
+	a.Wo.SetRuntime(rt)
+}
+
 // Params returns all projection parameters.
 func (a *MHSA) Params() []*Param {
 	var out []*Param
@@ -45,17 +74,17 @@ func (a *MHSA) Params() []*Param {
 	return out
 }
 
-// headView returns the n×Dh slice of m for head h as a fresh matrix.
-func (a *MHSA) headView(m *Mat, h int) *Mat {
-	out := NewMat(m.Rows, a.Dh)
+// headViewInto copies the n×Dh slice of m for head h into dst.
+func (a *MHSA) headViewInto(dst, m *Mat, h int) {
 	off := h * a.Dh
 	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[off:off+a.Dh])
+		copy(dst.Row(i), m.Row(i)[off:off+a.Dh])
 	}
-	return out
 }
 
-// headAccum adds src (n×Dh) into dst's columns for head h.
+// headAccum adds src (n×Dh) into dst's columns for head h. Distinct heads
+// touch disjoint column ranges, so concurrent head tasks may call this on
+// the same dst.
 func (a *MHSA) headAccum(dst, src *Mat, h int) {
 	off := h * a.Dh
 	for i := 0; i < src.Rows; i++ {
@@ -73,62 +102,116 @@ func (a *MHSA) Forward(x *Mat) *Mat {
 	a.k = a.Wk.Forward(x)
 	a.v = a.Wv.Forward(x)
 	n := x.Rows
-	a.attn = make([]*Mat, a.H)
-	a.concat = NewMat(n, a.D)
+	if cap(a.attn) < a.H {
+		a.attn = make([]*Mat, a.H)
+	}
+	a.attn = a.attn[:a.H]
+	a.concat = a.rt.get(n, a.D)
 	scale := 1 / math.Sqrt(float64(a.Dh))
+	// Pre-allocate every head's scratch on the calling goroutine — the
+	// arena is single-owner, so worker tasks must not call Get. The pointer
+	// slices live on the struct so steady-state steps allocate nothing.
+	if cap(a.qh) < a.H {
+		a.qh = make([]*Mat, a.H)
+		a.kh = make([]*Mat, a.H)
+		a.vh = make([]*Mat, a.H)
+		a.oh = make([]*Mat, a.H)
+	}
+	a.qh, a.kh, a.vh, a.oh = a.qh[:a.H], a.kh[:a.H], a.vh[:a.H], a.oh[:a.H]
 	for h := 0; h < a.H; h++ {
-		qh := a.headView(a.q, h)
-		kh := a.headView(a.k, h)
-		vh := a.headView(a.v, h)
-		scores := MatMulT2(qh, kh).Scale(scale) // n×n
-		scores.SoftmaxRows()
-		a.attn[h] = scores
-		oh := MatMul(scores, vh)
-		a.headAccum(a.concat, oh, h)
+		a.qh[h] = a.rt.get(n, a.Dh)
+		a.kh[h] = a.rt.get(n, a.Dh)
+		a.vh[h] = a.rt.get(n, a.Dh)
+		a.oh[h] = a.rt.get(n, a.Dh)
+		a.attn[h] = a.rt.get(n, n)
+	}
+	if a.rt.Pool.Threads() == 1 {
+		for h := 0; h < a.H; h++ {
+			a.forwardHead(h, n, scale)
+		}
+	} else {
+		a.rt.Pool.Run(a.H, func(h int) { a.forwardHead(h, n, scale) })
 	}
 	return a.Wo.Forward(a.concat)
+}
+
+// forwardHead computes one head's attention into its scratch and accumulates
+// the result into the head's column block of concat — the Pool.Run task unit.
+func (a *MHSA) forwardHead(h, n int, scale float64) {
+	a.headViewInto(a.qh[h], a.q, h)
+	a.headViewInto(a.kh[h], a.k, h)
+	a.headViewInto(a.vh[h], a.v, h)
+	scores := a.attn[h]
+	matMulT2Rows(scores, a.qh[h], a.kh[h], 0, n)
+	scores.Scale(scale)
+	scores.SoftmaxRows()
+	matMulRows(a.oh[h], scores, a.vh[h], 0, n)
+	a.headAccum(a.concat, a.oh[h], h)
 }
 
 // Backward propagates dY through the attention block and returns dX.
 func (a *MHSA) Backward(dy *Mat) *Mat {
 	dConcat := a.Wo.Backward(dy)
 	n := dy.Rows
-	dq := NewMat(n, a.D)
-	dk := NewMat(n, a.D)
-	dv := NewMat(n, a.D)
+	dq := a.rt.get(n, a.D)
+	dk := a.rt.get(n, a.D)
+	dv := a.rt.get(n, a.D)
 	scale := 1 / math.Sqrt(float64(a.Dh))
-	for h := 0; h < a.H; h++ {
-		doh := a.headView(dConcat, h)
-		qh := a.headView(a.q, h)
-		kh := a.headView(a.k, h)
-		vh := a.headView(a.v, h)
-		attn := a.attn[h]
-
-		dvh := MatMulT1(attn, doh) // n×Dh
-		dattn := MatMulT2(doh, vh) // n×n
-		// Softmax backward, row-wise: dS = A ⊙ (dA − Σⱼ dAⱼAⱼ).
-		dscores := NewMat(n, n)
-		for i := 0; i < n; i++ {
-			arow := attn.Row(i)
-			darow := dattn.Row(i)
-			dot := 0.0
-			for j := range arow {
-				dot += arow[j] * darow[j]
-			}
-			dsrow := dscores.Row(i)
-			for j := range arow {
-				dsrow[j] = arow[j] * (darow[j] - dot)
-			}
+	if cap(a.bs) < a.H {
+		a.bs = make([]headScratch, a.H)
+	}
+	a.bs = a.bs[:a.H]
+	for h := range a.bs {
+		a.bs[h] = headScratch{
+			doh: a.rt.get(n, a.Dh), qh: a.rt.get(n, a.Dh), kh: a.rt.get(n, a.Dh),
+			vh: a.rt.get(n, a.Dh), dvh: a.rt.get(n, a.Dh),
+			dattn: a.rt.get(n, n), dscores: a.rt.get(n, n),
+			dqh: a.rt.get(n, a.Dh), dkh: a.rt.get(n, a.Dh),
 		}
-		dscores.Scale(scale)
-		dqh := MatMul(dscores, kh)   // n×Dh
-		dkh := MatMulT1(dscores, qh) // n×Dh
-		a.headAccum(dq, dqh, h)
-		a.headAccum(dk, dkh, h)
-		a.headAccum(dv, dvh, h)
+	}
+	if a.rt.Pool.Threads() == 1 {
+		for h := 0; h < a.H; h++ {
+			a.backwardHead(h, n, scale, dConcat, dq, dk, dv)
+		}
+	} else {
+		a.rt.Pool.Run(a.H, func(h int) { a.backwardHead(h, n, scale, dConcat, dq, dk, dv) })
 	}
 	dx := a.Wq.Backward(dq)
-	AddInPlace(dx, a.Wk.Backward(dk))
-	AddInPlace(dx, a.Wv.Backward(dv))
+	a.rt.Pool.AddInPlace(dx, a.Wk.Backward(dk))
+	a.rt.Pool.AddInPlace(dx, a.Wv.Backward(dv))
 	return dx
+}
+
+// backwardHead propagates one head's gradient through attention and
+// accumulates into the head's column blocks of dq/dk/dv — the Pool.Run task
+// unit of Backward.
+func (a *MHSA) backwardHead(h, n int, scale float64, dConcat, dq, dk, dv *Mat) {
+	s := &a.bs[h]
+	a.headViewInto(s.doh, dConcat, h)
+	a.headViewInto(s.qh, a.q, h)
+	a.headViewInto(s.kh, a.k, h)
+	a.headViewInto(s.vh, a.v, h)
+	attn := a.attn[h]
+
+	matMulT1Rows(s.dvh, attn, s.doh, 0, n)   // n×Dh
+	matMulT2Rows(s.dattn, s.doh, s.vh, 0, n) // n×n
+	// Softmax backward, row-wise: dS = A ⊙ (dA − Σⱼ dAⱼAⱼ).
+	for i := 0; i < n; i++ {
+		arow := attn.Row(i)
+		darow := s.dattn.Row(i)
+		dot := 0.0
+		for j := range arow {
+			dot += arow[j] * darow[j]
+		}
+		dsrow := s.dscores.Row(i)
+		for j := range arow {
+			dsrow[j] = arow[j] * (darow[j] - dot)
+		}
+	}
+	s.dscores.Scale(scale)
+	matMulRows(s.dqh, s.dscores, s.kh, 0, n)   // n×Dh
+	matMulT1Rows(s.dkh, s.dscores, s.qh, 0, n) // n×Dh
+	a.headAccum(dq, s.dqh, h)
+	a.headAccum(dk, s.dkh, h)
+	a.headAccum(dv, s.dvh, h)
 }

@@ -9,6 +9,13 @@ type FFN struct {
 	relu   ReLU
 }
 
+// SetRuntime binds execution resources for the block.
+func (f *FFN) SetRuntime(rt Runtime) {
+	f.L1.SetRuntime(rt)
+	f.L2.SetRuntime(rt)
+	f.relu.SetRuntime(rt)
+}
+
 // NewFFN builds the block with the given hidden width.
 func NewFFN(name string, d, hidden int, r *sim.Rand) *FFN {
 	return &FFN{
@@ -39,6 +46,17 @@ type EncoderLayer struct {
 	FF   *FFN
 	LN1  *LayerNorm
 	LN2  *LayerNorm
+
+	rt Runtime
+}
+
+// SetRuntime binds execution resources for the layer and its blocks.
+func (e *EncoderLayer) SetRuntime(rt Runtime) {
+	e.rt = rt
+	e.Attn.SetRuntime(rt)
+	e.FF.SetRuntime(rt)
+	e.LN1.SetRuntime(rt)
+	e.LN2.SetRuntime(rt)
 }
 
 // NewEncoderLayer builds one layer.
@@ -63,16 +81,16 @@ func (e *EncoderLayer) Params() []*Param {
 
 // Forward runs the layer over an n×D sequence.
 func (e *EncoderLayer) Forward(x *Mat) *Mat {
-	h := e.LN1.Forward(Add(x, e.Attn.Forward(x)))
-	return e.LN2.Forward(Add(h, e.FF.Forward(h)))
+	h := e.LN1.Forward(e.rt.add(x, e.Attn.Forward(x)))
+	return e.LN2.Forward(e.rt.add(h, e.FF.Forward(h)))
 }
 
 // Backward returns dX.
 func (e *EncoderLayer) Backward(dy *Mat) *Mat {
 	d2 := e.LN2.Backward(dy)
-	dh := Add(d2, e.FF.Backward(d2))
+	dh := e.rt.add(d2, e.FF.Backward(d2))
 	d1 := e.LN1.Backward(dh)
-	return Add(d1, e.Attn.Backward(d1))
+	return e.rt.add(d1, e.Attn.Backward(d1))
 }
 
 // Encoder is Pythia's query encoder: token embedding + sinusoidal positions,
@@ -84,7 +102,19 @@ type Encoder struct {
 	Layers []*EncoderLayer
 	D      int
 
+	rt         Runtime
 	lastSeqLen int
+}
+
+// SetRuntime binds the worker pool and scratch arena the encoder computes
+// with; it propagates to every layer. Call once after construction (and
+// before any concurrent use).
+func (e *Encoder) SetRuntime(rt Runtime) {
+	e.rt = rt
+	e.Emb.SetRuntime(rt)
+	for _, l := range e.Layers {
+		l.SetRuntime(rt)
+	}
 }
 
 // EncoderConfig sizes the encoder. The paper's configuration is Dim 100,
@@ -132,7 +162,7 @@ func (e *Encoder) Forward(ids []int) *Mat {
 	for _, l := range e.Layers {
 		x = l.Forward(x)
 	}
-	out := NewMat(1, e.D)
+	out := e.rt.get(1, e.D)
 	copy(out.Row(0), x.Row(x.Rows-1))
 	return out
 }
@@ -140,7 +170,7 @@ func (e *Encoder) Forward(ids []int) *Mat {
 // Backward propagates the 1×D representation gradient back through the
 // stack into the embedding table.
 func (e *Encoder) Backward(dRep *Mat) {
-	dx := NewMat(e.lastSeqLen, e.D)
+	dx := e.rt.get(e.lastSeqLen, e.D)
 	copy(dx.Row(e.lastSeqLen-1), dRep.Row(0))
 	for i := len(e.Layers) - 1; i >= 0; i-- {
 		dx = e.Layers[i].Backward(dx)

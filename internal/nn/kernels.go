@@ -1,0 +1,260 @@
+package nn
+
+import "fmt"
+
+// Destination-passing compute kernels. Each kernel writes into a
+// caller-supplied matrix (usually from an Arena) instead of allocating, and
+// each has a range form that computes only the output elements in [lo, hi)
+// — the unit the Pool shards across workers.
+//
+// Determinism: every output element is owned by exactly one shard, and the
+// per-element floating-point accumulation order (ascending over the
+// contracted index) is identical in the range kernels and the serial
+// reference implementations in mat.go. Sharding therefore changes which
+// goroutine computes an element, never the bit pattern of the result; see
+// the golden tests in pool_test.go.
+//
+// The dense kernels carry no zero-skip branch. The seed code skipped
+// multiplications where the activation was exactly zero (useful for one-hot
+// rows), but post-embedding activations are dense: BenchmarkMatMulSkip
+// measures the branch as a wash there (a never-taken branch predicts
+// perfectly), and no matmul call site in the model feeds one-hot rows, so
+// the dense kernels drop it as dead weight. The one place exact zeros are
+// common — ReLU outputs feeding a weight-gradient accumulation, where one
+// skip saves a whole b-row walk — keeps it in AccumT1Into, a measured ~2×
+// win at half-sparsity (BenchmarkAccumT1Sparse).
+
+// dstCheck panics when dst does not have the required shape.
+func dstCheck(dst *Mat, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("nn: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+}
+
+// serial reports whether a kernel of roughly work scalar ops should skip the
+// fan-out entirely. Every Pool method checks this *before* constructing its
+// shard closure: a func literal is heap-allocated at the point it appears,
+// so keeping it out of the serial path is what makes steady-state training
+// steps allocation-free at Threads=1 (TestArenaSteadyStateAllocs).
+func (p *Pool) serial(work int) bool {
+	return p.Threads() <= 1 || work < parallelMinWork
+}
+
+// MatMulInto computes dst = a @ b. dst must not alias a or b.
+func (p *Pool) MatMulInto(dst, a, b *Mat) {
+	shapeCheck(a.Cols == b.Rows, "matmul", a, b)
+	dstCheck(dst, a.Rows, b.Cols, "matmul")
+	work := a.Rows * a.Cols * b.Cols
+	if p.serial(work) {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	// Row-shard when there are enough output rows to feed every worker;
+	// otherwise (e.g. the decoder's 1×D @ D×pages layer) shard the output
+	// columns. Both preserve the per-element k-ascending accumulation
+	// order, so the choice affects speed only.
+	if a.Rows >= p.Threads() || a.Rows >= b.Cols {
+		p.shard(a.Rows, work, func(lo, hi int) { matMulRows(dst, a, b, lo, hi) })
+	} else {
+		p.shard(b.Cols, work, func(lo, hi int) { matMulCols(dst, a, b, lo, hi) })
+	}
+}
+
+// matMulRows computes dst rows [lo, hi) of a @ b in i-k-j order: the inner
+// loop walks b and dst rows contiguously, which matters for the decoder's
+// wide output layer.
+func matMulRows(dst, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulCols computes dst columns [jlo, jhi) of a @ b for all rows.
+func matMulCols(dst, a, b *Mat, jlo, jhi int) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)[jlo:jhi]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			brow := b.Row(k)[jlo:jhi]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1Into computes dst = aᵀ @ b (weight-gradient shape: dW = Xᵀ dY).
+// Restructured from the serial r-outer loop so that each *output* row i
+// (column i of a) is owned by exactly one worker; the contraction still
+// runs r-ascending per element, so results match MatMulT1 bitwise.
+func (p *Pool) MatMulT1Into(dst, a, b *Mat) {
+	shapeCheck(a.Rows == b.Rows, "matmulT1", a, b)
+	dstCheck(dst, a.Cols, b.Cols, "matmulT1")
+	work := a.Rows * a.Cols * b.Cols
+	if p.serial(work) {
+		matMulT1Rows(dst, a, b, 0, a.Cols)
+		return
+	}
+	p.shard(a.Cols, work, func(lo, hi int) { matMulT1Rows(dst, a, b, lo, hi) })
+}
+
+func matMulT1Rows(dst, a, b *Mat, ilo, ihi int) {
+	for i := ilo; i < ihi; i++ {
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for r := 0; r < a.Rows; r++ {
+			av := a.Data[r*a.Cols+i]
+			brow := b.Row(r)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AccumT1Into computes dst += aᵀ @ b without clearing dst — the in-place
+// weight-gradient accumulation (dW += Xᵀ dY). Rows of dst are owned by one
+// worker each, like MatMulT1Into. The zero-skip stays here on purpose: a is
+// an activation matrix that is ReLU output at the decoder and FFN second
+// layers, where roughly half the entries are exactly zero and skipping a
+// whole b-row walk per zero is a measured win (BenchmarkAccumT1Sparse) that
+// costs little on dense inputs.
+func (p *Pool) AccumT1Into(dst, a, b *Mat) {
+	shapeCheck(a.Rows == b.Rows, "accumT1", a, b)
+	dstCheck(dst, a.Cols, b.Cols, "accumT1")
+	work := a.Rows * a.Cols * b.Cols
+	if p.serial(work) {
+		accumT1Rows(dst, a, b, 0, a.Cols)
+		return
+	}
+	p.shard(a.Cols, work, func(lo, hi int) { accumT1Rows(dst, a, b, lo, hi) })
+}
+
+func accumT1Rows(dst, a, b *Mat, ilo, ihi int) {
+	for i := ilo; i < ihi; i++ {
+		orow := dst.Row(i)
+		for r := 0; r < a.Rows; r++ {
+			av := a.Data[r*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(r)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT2Into computes dst = a @ bᵀ (input-gradient shape: dX = dY Wᵀ).
+func (p *Pool) MatMulT2Into(dst, a, b *Mat) {
+	shapeCheck(a.Cols == b.Cols, "matmulT2", a, b)
+	dstCheck(dst, a.Rows, b.Rows, "matmulT2")
+	work := a.Rows * a.Cols * b.Rows
+	if p.serial(work) {
+		matMulT2Rows(dst, a, b, 0, a.Rows)
+		return
+	}
+	if a.Rows >= p.Threads() || a.Rows >= b.Rows {
+		p.shard(a.Rows, work, func(lo, hi int) { matMulT2Rows(dst, a, b, lo, hi) })
+	} else {
+		p.shard(b.Rows, work, func(lo, hi int) { matMulT2Cols(dst, a, b, lo, hi) })
+	}
+}
+
+func matMulT2Rows(dst, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+func matMulT2Cols(dst, a, b *Mat, jlo, jhi int) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := jlo; j < jhi; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// AddInto computes dst = a + b element-wise. Elements are owned, not
+// accumulated, so any sharding is trivially deterministic.
+func (p *Pool) AddInto(dst, a, b *Mat) {
+	shapeCheck(a.Rows == b.Rows && a.Cols == b.Cols, "add", a, b)
+	dstCheck(dst, a.Rows, a.Cols, "add")
+	if p.serial(len(a.Data)) {
+		addRange(dst, a, b, 0, len(a.Data))
+		return
+	}
+	p.shard(len(a.Data), len(a.Data), func(lo, hi int) { addRange(dst, a, b, lo, hi) })
+}
+
+func addRange(dst, a, b *Mat, lo, hi int) {
+	da, db, dd := a.Data[lo:hi], b.Data[lo:hi], dst.Data[lo:hi]
+	for i := range dd {
+		dd[i] = da[i] + db[i]
+	}
+}
+
+// AddInPlace accumulates b into a.
+func (p *Pool) AddInPlace(a, b *Mat) {
+	shapeCheck(a.Rows == b.Rows && a.Cols == b.Cols, "add", a, b)
+	if p.serial(len(a.Data)) {
+		accumRange(a, b, 0, len(a.Data))
+		return
+	}
+	p.shard(len(a.Data), len(a.Data), func(lo, hi int) { accumRange(a, b, lo, hi) })
+}
+
+func accumRange(a, b *Mat, lo, hi int) {
+	da, db := a.Data[lo:hi], b.Data[lo:hi]
+	for i := range db {
+		da[i] += db[i]
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m in
+// place, sharding rows across the pool (rows are independent).
+func (p *Pool) SoftmaxRows(m *Mat) {
+	if p.serial(len(m.Data) * 4) {
+		softmaxRowRange(m, 0, m.Rows)
+		return
+	}
+	p.shard(m.Rows, len(m.Data)*4, func(lo, hi int) { softmaxRowRange(m, lo, hi) })
+}
+
+func softmaxRowRange(m *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		softmaxRow(m.Row(i))
+	}
+}

@@ -48,8 +48,13 @@ type Linear struct {
 	Weight  *Param // In×Out
 	Bias    *Param // 1×Out
 
-	x *Mat // cached input for backward
+	rt Runtime
+	x  *Mat // cached input for backward
 }
+
+// SetRuntime binds the worker pool and scratch arena the layer computes
+// with. The zero Runtime (the default) means serial, heap-allocating.
+func (l *Linear) SetRuntime(rt Runtime) { l.rt = rt }
 
 // NewLinear builds a Xavier-initialized linear layer.
 func NewLinear(name string, in, out int, r *sim.Rand) *Linear {
@@ -68,7 +73,8 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 // Forward computes X W + b, caching X for Backward.
 func (l *Linear) Forward(x *Mat) *Mat {
 	l.x = x
-	y := MatMul(x, l.Weight.W)
+	y := l.rt.get(x.Rows, l.Out)
+	l.rt.Pool.MatMulInto(y, x, l.Weight.W)
 	y.AddRowVec(l.Bias.W.Data)
 	return y
 }
@@ -77,23 +83,12 @@ func (l *Linear) Forward(x *Mat) *Mat {
 // accumulated in place (dW += xᵀ dy) rather than through a temporary
 // matrix: for wide output layers (the per-page decoder head) the temporary
 // would allocate In×Out floats per training step, dominating runtime via
-// the garbage collector.
+// the garbage collector. AccumT1Into row-shards the accumulation across the
+// pool (each dW row owned by one worker) and keeps the zero-skip for
+// ReLU-sparse activations.
 func (l *Linear) Backward(dy *Mat) *Mat {
 	shapeCheck(l.x.Rows == dy.Rows, "linear backward", l.x, dy)
-	wg := l.Weight.G
-	for r := 0; r < l.x.Rows; r++ {
-		xrow := l.x.Row(r)
-		dyrow := dy.Row(r)
-		for i, xv := range xrow {
-			if xv == 0 {
-				continue
-			}
-			grow := wg.Row(i)
-			for j, dv := range dyrow {
-				grow[j] += xv * dv
-			}
-		}
-	}
+	l.rt.Pool.AccumT1Into(l.Weight.G, l.x, dy)
 	bg := l.Bias.G.Data
 	for i := 0; i < dy.Rows; i++ {
 		row := dy.Row(i)
@@ -101,7 +96,9 @@ func (l *Linear) Backward(dy *Mat) *Mat {
 			bg[j] += row[j]
 		}
 	}
-	return MatMulT2(dy, l.Weight.W)
+	dx := l.rt.get(dy.Rows, l.In)
+	l.rt.Pool.MatMulT2Into(dx, dy, l.Weight.W)
+	return dx
 }
 
 // Embedding maps token ids to D-dimensional vectors.
@@ -109,8 +106,12 @@ type Embedding struct {
 	V, D  int
 	Table *Param // V×D
 
+	rt  Runtime
 	ids []int // cached for backward
 }
+
+// SetRuntime binds execution resources.
+func (e *Embedding) SetRuntime(rt Runtime) { e.rt = rt }
 
 // NewEmbedding builds an embedding table with small-normal init.
 func NewEmbedding(name string, vocab, dim int, r *sim.Rand) *Embedding {
@@ -127,7 +128,7 @@ func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
 // Forward gathers the rows for ids into an n×D matrix.
 func (e *Embedding) Forward(ids []int) *Mat {
 	e.ids = ids
-	out := NewMat(len(ids), e.D)
+	out := e.rt.get(len(ids), e.D)
 	for i, id := range ids {
 		if id < 0 || id >= e.V {
 			panic("nn: embedding id out of range")
@@ -137,7 +138,10 @@ func (e *Embedding) Forward(ids []int) *Mat {
 	return out
 }
 
-// Backward scatters the output gradient back into the used rows.
+// Backward scatters the output gradient back into the used rows. The
+// scatter stays serial: a token id can repeat within a sequence, so rows of
+// the gradient table are not exclusively owned, and the work is O(n·D) —
+// negligible next to the matmuls.
 func (e *Embedding) Backward(dy *Mat) {
 	for i, id := range e.ids {
 		grow := e.Table.G.Row(id)
@@ -173,10 +177,14 @@ type LayerNorm struct {
 	Gain *Param // 1×D
 	Bias *Param // 1×D
 
+	rt    Runtime
 	x     *Mat
 	xhat  *Mat
 	invSD []float64
 }
+
+// SetRuntime binds execution resources.
+func (ln *LayerNorm) SetRuntime(rt Runtime) { ln.rt = rt }
 
 const lnEps = 1e-5
 
@@ -192,15 +200,29 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 // Params returns gain and bias.
 func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gain, ln.Bias} }
 
-// Forward normalizes each row.
+// Forward normalizes each row. Rows are independent, so the loop is
+// row-sharded across the pool.
 func (ln *LayerNorm) Forward(x *Mat) *Mat {
 	ln.x = x
-	ln.xhat = NewMat(x.Rows, x.Cols)
-	ln.invSD = make([]float64, x.Rows)
-	out := NewMat(x.Rows, x.Cols)
+	ln.xhat = ln.rt.get(x.Rows, x.Cols)
+	if cap(ln.invSD) < x.Rows {
+		ln.invSD = make([]float64, x.Rows)
+	}
+	ln.invSD = ln.invSD[:x.Rows]
+	out := ln.rt.get(x.Rows, x.Cols)
+	if work := len(x.Data) * 6; ln.rt.Pool.serial(work) {
+		ln.forwardRows(out, 0, x.Rows)
+	} else {
+		ln.rt.Pool.shard(x.Rows, work, func(lo, hi int) { ln.forwardRows(out, lo, hi) })
+	}
+	return out
+}
+
+// forwardRows normalizes rows [lo, hi) — the shard unit of Forward.
+func (ln *LayerNorm) forwardRows(out *Mat, lo, hi int) {
 	g, b := ln.Gain.W.Data, ln.Bias.W.Data
-	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
+	for i := lo; i < hi; i++ {
+		row := ln.x.Row(i)
 		mean := 0.0
 		for _, v := range row {
 			mean += v
@@ -221,26 +243,42 @@ func (ln *LayerNorm) Forward(x *Mat) *Mat {
 			orow[j] = xh[j]*g[j] + b[j]
 		}
 	}
-	return out
 }
 
-// Backward returns dX and accumulates gain/bias gradients.
+// Backward returns dX and accumulates gain/bias gradients. The dX rows are
+// independent and row-sharded; the gain/bias gradients reduce *across*
+// rows, so they stay on the calling goroutine to keep the row-ascending
+// accumulation order (and hence bitwise results) of the serial code.
 func (ln *LayerNorm) Backward(dy *Mat) *Mat {
-	dx := NewMat(dy.Rows, dy.Cols)
-	g := ln.Gain.W.Data
+	dx := ln.rt.get(dy.Rows, dy.Cols)
+	dxhat := ln.rt.get(dy.Rows, dy.Cols)
 	gg, bg := ln.Gain.G.Data, ln.Bias.G.Data
-	n := float64(dy.Cols)
 	for i := 0; i < dy.Rows; i++ {
 		dyr := dy.Row(i)
 		xh := ln.xhat.Row(i)
-		// Accumulate parameter grads.
 		for j, d := range dyr {
 			gg[j] += d * xh[j]
 			bg[j] += d
 		}
+	}
+	if work := len(dy.Data) * 5; ln.rt.Pool.serial(work) {
+		ln.backwardRows(dx, dxhat, dy, 0, dy.Rows)
+	} else {
+		ln.rt.Pool.shard(dy.Rows, work, func(lo, hi int) { ln.backwardRows(dx, dxhat, dy, lo, hi) })
+	}
+	return dx
+}
+
+// backwardRows computes dX rows [lo, hi) — the shard unit of Backward.
+func (ln *LayerNorm) backwardRows(dx, dxhat, dy *Mat, lo, hi int) {
+	g := ln.Gain.W.Data
+	n := float64(dy.Cols)
+	for i := lo; i < hi; i++ {
+		dyr := dy.Row(i)
+		xh := ln.xhat.Row(i)
 		// dxhat = dy * g; dx = invSD*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)).
 		var sum1, sum2 float64
-		dxh := make([]float64, dy.Cols)
+		dxh := dxhat.Row(i)
 		for j, d := range dyr {
 			dxh[j] = d * g[j]
 			sum1 += dxh[j]
@@ -252,32 +290,37 @@ func (ln *LayerNorm) Backward(dy *Mat) *Mat {
 			dxr[j] = inv * (dxh[j] - sum1/n - xh[j]*sum2/n)
 		}
 	}
-	return dx
 }
 
-// ReLU is the rectifier with cached mask.
+// ReLU is the rectifier. Instead of materializing a mask it caches the
+// input matrix, which Backward re-tests (v > 0) — one allocation fewer per
+// step, and the input is alive anyway as the previous layer's cache.
 type ReLU struct {
-	mask []bool
+	rt Runtime
+	x  *Mat
 }
+
+// SetRuntime binds execution resources.
+func (r *ReLU) SetRuntime(rt Runtime) { r.rt = rt }
 
 // Forward zeroes negatives.
 func (r *ReLU) Forward(x *Mat) *Mat {
-	out := NewMat(x.Rows, x.Cols)
-	r.mask = make([]bool, len(x.Data))
+	r.x = x
+	out := r.rt.get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
-			r.mask[i] = true
 		}
 	}
 	return out
 }
 
-// Backward gates the gradient through the cached mask.
+// Backward gates the gradient where the cached input was positive.
 func (r *ReLU) Backward(dy *Mat) *Mat {
-	dx := NewMat(dy.Rows, dy.Cols)
+	dx := r.rt.get(dy.Rows, dy.Cols)
+	xd := r.x.Data
 	for i, v := range dy.Data {
-		if r.mask[i] {
+		if xd[i] > 0 {
 			dx.Data[i] = v
 		}
 	}

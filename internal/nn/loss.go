@@ -23,6 +23,9 @@ type BCEWithLogits struct {
 	// learning rate; sum reduction (with gradient clipping) keeps the
 	// effective step size independent of label-space size.
 	Sum bool
+	// Scratch, when set, allocates the gradient matrix from the arena
+	// instead of the heap (the training loop calls Loss once per step).
+	Scratch *Arena
 }
 
 // Loss returns the mean loss over all outputs and the gradient with respect
@@ -39,7 +42,7 @@ func (b BCEWithLogits) Loss(logits *Mat, targets []float64) (float64, *Mat) {
 	if b.Sum {
 		n = 1
 	}
-	grad := NewMat(logits.Rows, logits.Cols)
+	grad := b.Scratch.Get(logits.Rows, logits.Cols)
 	total := 0.0
 	for i, x := range logits.Data {
 		y := targets[i]
@@ -83,6 +86,13 @@ func NewDecoder(name string, in, hidden, outputs int, r *sim.Rand) *Decoder {
 		L1: NewLinear(name+".d1", in, hidden, r),
 		L2: NewLinear(name+".d2", hidden, outputs, r),
 	}
+}
+
+// SetRuntime binds execution resources for the head.
+func (d *Decoder) SetRuntime(rt Runtime) {
+	d.L1.SetRuntime(rt)
+	d.L2.SetRuntime(rt)
+	d.relu.SetRuntime(rt)
 }
 
 // Params returns the head's parameters.

@@ -8,7 +8,13 @@
 // The library is deliberately CPU-first and deterministic: all randomness
 // flows from an explicit sim.Rand, so training the same model twice yields
 // identical parameters — which is what makes the experiment harness
-// reproducible.
+// reproducible. The compute kernels run row-sharded across a shared worker
+// pool (pool.go, kernels.go) with ownership-based sharding that preserves
+// the serial floating-point accumulation order, so the reproducibility
+// contract extends across thread counts: Threads=1 and Threads=N train to
+// bitwise-identical parameters. Scratch matrices come from a per-model
+// frame arena (arena.go) so the steady-state training loop allocates
+// nothing.
 package nn
 
 import (
@@ -61,65 +67,36 @@ func shapeCheck(cond bool, op string, a, b *Mat) {
 	}
 }
 
-// MatMul returns a @ b.
+// MatMul returns a @ b. This is the serial reference implementation the
+// parallel kernels (Pool.MatMulInto) are golden-tested against; the hot
+// paths use the destination-passing variants in kernels.go.
 func MatMul(a, b *Mat) *Mat {
 	shapeCheck(a.Cols == b.Rows, "matmul", a, b)
 	out := NewMat(a.Rows, b.Cols)
 	// i-k-j loop order: the inner loop walks both b and out rows
 	// contiguously, which matters for the decoder's wide output layer.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	// No zero-skip: post-embedding activations are dense, and the branch
+	// only costs on dense inputs (BenchmarkMatMulSkip).
+	matMulRows(out, a, b, 0, a.Rows)
 	return out
 }
 
-// MatMulT1 returns aᵀ @ b (used for weight gradients: dW = Xᵀ dY).
+// MatMulT1 returns aᵀ @ b (used for weight gradients: dW = Xᵀ dY). Serial
+// reference for Pool.MatMulT1Into; shares the restructured output-row-major
+// loop so the two are bitwise identical by construction.
 func MatMulT1(a, b *Mat) *Mat {
 	shapeCheck(a.Rows == b.Rows, "matmulT1", a, b)
 	out := NewMat(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulT1Rows(out, a, b, 0, a.Cols)
 	return out
 }
 
-// MatMulT2 returns a @ bᵀ (used for input gradients: dX = dY Wᵀ).
+// MatMulT2 returns a @ bᵀ (used for input gradients: dX = dY Wᵀ). Serial
+// reference for Pool.MatMulT2Into.
 func MatMulT2(a, b *Mat) *Mat {
 	shapeCheck(a.Cols == b.Cols, "matmulT2", a, b)
 	out := NewMat(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
+	matMulT2Rows(out, a, b, 0, a.Rows)
 	return out
 }
 
@@ -165,23 +142,28 @@ func (m *Mat) AddRowVec(v []float64) {
 // SoftmaxRows applies a numerically stable softmax to each row in place.
 func (m *Mat) SoftmaxRows() {
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		maxv := math.Inf(-1)
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
-			}
+		softmaxRow(m.Row(i))
+	}
+}
+
+// softmaxRow is the shared per-row softmax used by both the serial method
+// and the pool's row-sharded variant.
+func softmaxRow(row []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
 		}
-		sum := 0.0
-		for j, v := range row {
-			e := math.Exp(v - maxv)
-			row[j] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for j := range row {
-			row[j] *= inv
-		}
+	}
+	sum := 0.0
+	for j, v := range row {
+		e := math.Exp(v - maxv)
+		row[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range row {
+		row[j] *= inv
 	}
 }
 

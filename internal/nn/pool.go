@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file implements the deterministic worker pool behind the parallel
+// compute kernels. The design has two halves:
+//
+//   - A single process-wide set of persistent worker goroutines, sized once
+//     to the machine. Every Pool handle shares it, so however many models
+//     train or infer concurrently (the predictor fans out across per-object
+//     models), the total kernel-level concurrency stays bounded by the
+//     hardware — there is no pool-per-model oversubscription.
+//
+//   - Pool handles, which carry only a shard-count policy (how many pieces
+//     to cut each kernel into). Shards are *owned*, not stolen: shard k of a
+//     row-sharded kernel always covers the same contiguous output rows, and
+//     every output element is written by exactly one shard using the same
+//     floating-point accumulation order as the serial reference kernel.
+//     Results are therefore bitwise identical for any thread count — the
+//     repo's reproducibility contract (train twice, get identical
+//     parameters) holds at Threads=1 and Threads=N alike.
+//
+// Deadlock/saturation policy: the submitting goroutine executes shard 0
+// itself and hands the rest to idle persistent workers; if no worker is
+// free (e.g. many models are already training in parallel), the shard runs
+// inline on the submitter instead of queueing. Kernel tasks never submit
+// sub-tasks, so the pool cannot deadlock, and a saturated system degrades
+// to exactly the serial schedule rather than spawning extra goroutines.
+
+// workCh feeds the shared persistent workers. It is unbuffered on purpose:
+// a send succeeds only if an idle worker is parked on the receive, which is
+// what lets submitters detect saturation and run shards inline instead.
+var (
+	workerMu    sync.Mutex
+	workerCount int
+	workCh      = make(chan func())
+)
+
+// ensureWorkers grows the shared worker set to at least n goroutines.
+// Workers are cheap (a parked goroutine) and live for the process.
+func ensureWorkers(n int) {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	for ; workerCount < n; workerCount++ {
+		go func() {
+			for f := range workCh {
+				f()
+			}
+		}()
+	}
+}
+
+// defaultThreads resolves the process default shard count: the
+// PYTHIA_THREADS environment variable when set to a positive integer,
+// otherwise runtime.NumCPU().
+var defaultThreads = sync.OnceValue(func() int {
+	if s := os.Getenv("PYTHIA_THREADS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+})
+
+// DefaultThreads returns the process-wide default thread count used when a
+// Pool is built with threads <= 0: PYTHIA_THREADS if set, else NumCPU.
+func DefaultThreads() int { return defaultThreads() }
+
+// Pool is a handle on the shared worker set with a fixed shard-count
+// policy. A nil Pool (or one with one thread) runs every kernel serially;
+// the zero-ish serial behavior is what all layers get until a Runtime is
+// bound, so existing construction paths stay valid.
+type Pool struct {
+	threads int
+}
+
+// NewPool returns a pool that cuts kernels into up to threads shards.
+// threads <= 0 selects DefaultThreads(). The persistent workers backing the
+// pool are shared process-wide.
+func NewPool(threads int) *Pool {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > 1 {
+		ensureWorkers(threads - 1)
+	}
+	return &Pool{threads: threads}
+}
+
+// Threads reports the shard count. Nil-safe: a nil pool is serial.
+func (p *Pool) Threads() int {
+	if p == nil || p.threads < 1 {
+		return 1
+	}
+	return p.threads
+}
+
+// parallelMinWork is the approximate scalar-op count below which the
+// fan-out overhead (~1µs of channel/WaitGroup traffic per shard) exceeds
+// the win. The cutoff depends only on shapes, so whether a kernel fans out
+// is itself deterministic — and because sharding never changes results,
+// the cutoff affects speed only.
+const parallelMinWork = 16 * 1024
+
+// shard splits [0, n) into at most p.Threads() contiguous chunks and runs
+// fn on each, returning after all complete. work is the approximate total
+// scalar-op count of the kernel; small kernels run inline. fn must touch
+// only the elements its [lo, hi) range owns.
+func (p *Pool) shard(n, work int, fn func(lo, hi int)) {
+	t := p.Threads()
+	if t > n {
+		t = n
+	}
+	if t <= 1 || work < parallelMinWork {
+		fn(0, n)
+		return
+	}
+	chunk := (n + t - 1) / t
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		wg.Add(1)
+		task := func() {
+			fn(lo, hi)
+			wg.Done()
+		}
+		select {
+		case workCh <- task:
+		default:
+			// Every worker is busy (other models are training on the same
+			// shared set): run the shard here rather than oversubscribe.
+			task()
+		}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// Run executes fn(0) … fn(n-1) across the pool and returns when all have
+// completed. Task i is owned by shard i mod t, so the assignment is
+// deterministic. Used for head-parallel attention, where the n tasks are
+// independent by construction; fn must not submit pool work itself.
+func (p *Pool) Run(n int, fn func(i int)) {
+	t := p.Threads()
+	if t > n {
+		t = n
+	}
+	if t <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < t; w++ {
+		w := w
+		wg.Add(1)
+		task := func() {
+			for i := w; i < n; i += t {
+				fn(i)
+			}
+			wg.Done()
+		}
+		select {
+		case workCh <- task:
+		default:
+			task()
+		}
+	}
+	for i := 0; i < n; i += t {
+		fn(i)
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/pythia-db/pythia/internal/model"
+	"github.com/pythia-db/pythia/internal/nn"
 	"github.com/pythia-db/pythia/internal/plan"
 	"github.com/pythia-db/pythia/internal/serialize"
 	"github.com/pythia-db/pythia/internal/storage"
@@ -48,7 +49,12 @@ type Options struct {
 	// pairs together). Objects absent from all groups keep their own model.
 	Groups [][]storage.ObjectID
 	// Parallel trains and infers models concurrently ("model inferences can
-	// be parallelized", §3.3).
+	// be parallelized", §3.3). The fan-out is bounded by the thread budget
+	// (Model.Threads, or the process default when zero), and the nn
+	// kernels of every model share one process-wide worker set, so
+	// model-level and kernel-level parallelism compose without
+	// oversubscribing the machine: whatever cores the fan-out does not
+	// cover, the per-model kernels soak up, and vice versa.
 	Parallel bool
 }
 
@@ -161,15 +167,32 @@ func Train(reg *storage.Registry, samples []TrainSample, opts Options) *Predicto
 		m.Train(msamples)
 		p.models[i] = m
 	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i := range jobs {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				trainOne(i)
-			}(i)
+	if opts.Parallel && len(jobs) > 1 {
+		// Bounded fan-out: at most one worker per thread of budget. Each
+		// job writes only its own slot, and per-model seeds depend only on
+		// the job index, so the schedule cannot affect the result.
+		workers := opts.Model.Threads
+		if workers <= 0 {
+			workers = nn.DefaultThreads()
 		}
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					trainOne(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
 		wg.Wait()
 	} else {
 		for i := range jobs {

@@ -43,6 +43,9 @@ type Config struct {
 	// MaxGenerate caps autoregressive generation length at inference.
 	MaxGenerate int
 	Seed        uint64
+	// Threads is the worker-shard count for the nn kernels (0 = process
+	// default, 1 = serial). Deterministic across values, like model.Config.
+	Threads int
 }
 
 // DefaultConfig returns the context-32 raw-trace variant at reproduction
@@ -114,6 +117,7 @@ type Model struct {
 	pages []storage.PageID // id → page (id 0 is BOS)
 	enc   *nn.Encoder
 	head  *nn.Linear
+	rt    nn.Runtime
 	// TrainTime and InferTime record wall-clock costs for the Figure 9
 	// comparison. InferTime accumulates across Predict calls;
 	// InferredTokens counts generated blocks.
@@ -153,6 +157,9 @@ func Train(seqs [][]storage.PageID, cfg Config) *Model {
 		Vocab: len(m.pages), Dim: cfg.Dim, Heads: cfg.Heads, Layers: 1,
 	}, r)
 	m.head = nn.NewLinear("seq.head", cfg.Dim, len(m.pages), r)
+	m.rt = nn.Runtime{Pool: nn.NewPool(cfg.Threads), Arena: nn.NewArena()}
+	m.enc.SetRuntime(m.rt)
+	m.head.SetRuntime(m.rt)
 	params := append(m.enc.Params(), m.head.Params()...)
 	opt := nn.NewAdam(cfg.LR, params)
 	opt.Clip = 5
@@ -170,9 +177,10 @@ func Train(seqs [][]storage.PageID, cfg Config) *Model {
 			}
 			for pos := 0; pos < positions; pos += stride {
 				ctx := m.context(ids, pos)
+				m.rt.Arena.Release()
 				opt.ZeroGrad()
 				logits := m.head.Forward(m.enc.Forward(ctx))
-				dLogits := crossEntropyGrad(logits, ids[pos])
+				dLogits := m.crossEntropyGrad(logits, ids[pos])
 				m.enc.Backward(m.head.Backward(dLogits))
 				opt.Step()
 			}
@@ -195,9 +203,11 @@ func (m *Model) context(ids []int, pos int) []int {
 	return ctx
 }
 
-// crossEntropyGrad returns dLogits for -log softmax(logits)[target].
-func crossEntropyGrad(logits *nn.Mat, target int) *nn.Mat {
-	grad := logits.Clone()
+// crossEntropyGrad returns dLogits for -log softmax(logits)[target],
+// scratch-allocated so the per-position training loop stays churn-free.
+func (m *Model) crossEntropyGrad(logits *nn.Mat, target int) *nn.Mat {
+	grad := m.rt.Arena.Get(logits.Rows, logits.Cols)
+	copy(grad.Data, logits.Data)
 	grad.SoftmaxRows()
 	grad.Data[target]--
 	return grad
@@ -235,6 +245,7 @@ func (m *Model) PredictFrom(seed []storage.PageID, n int) []storage.PageID {
 		if len(window) > m.cfg.Context {
 			window = window[len(window)-m.cfg.Context:]
 		}
+		m.rt.Arena.Release()
 		logits := m.head.Forward(m.enc.Forward(window))
 		best, bestV := -1, math.Inf(-1)
 		for id := 1; id < len(logits.Data); id++ {
