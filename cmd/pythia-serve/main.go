@@ -5,140 +5,32 @@
 // persisted models.
 //
 //	pythia-serve -templates t91 -sf 20 -n 60 -addr :8080 &
-//	curl -s localhost:8080/predict -d '{"fact":"catalog_returns", ...}'
+//	curl -s localhost:8080/v1/predict -d '{"fact":"catalog_returns", ...}'
+//	curl -s localhost:8080/metrics
 //
-// Endpoints:
+// Endpoints (see internal/serve for the full contract):
 //
-//	GET  /healthz     liveness + model inventory
-//	POST /predict     QuerySpec JSON → predicted pages + matched workload
-//	POST /explain     QuerySpec JSON → plan display + Algorithm 2 tokens
+//	POST /v1/predict   QuerySpec JSON → predicted pages + matched workload
+//	POST /v1/explain   QuerySpec JSON → plan display + Algorithm 2 tokens
+//	GET  /v1/healthz   liveness + model inventory
+//	GET  /metrics      Prometheus text exposition
+//	GET  /stats        JSON statistics snapshot
+//
+// The unversioned /predict, /explain, and /healthz aliases remain for one
+// release and answer with a Deprecation header.
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"strings"
 	"time"
 
 	"github.com/pythia-db/pythia/internal/dsb"
-	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
-	"github.com/pythia-db/pythia/internal/serialize"
-	"github.com/pythia-db/pythia/internal/spec"
+	"github.com/pythia-db/pythia/internal/serve"
 )
-
-type server struct {
-	gen *dsb.Generator
-	sys *corepythia.System
-}
-
-type predictResponse struct {
-	Workload  string     `json:"workload"`
-	Fallback  bool       `json:"fallback"`
-	Pages     []pageJSON `json:"pages"`
-	PageCount int        `json:"page_count"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Plan      string     `json:"plan,omitempty"`
-	Tokens    []string   `json:"tokens,omitempty"`
-}
-
-type pageJSON struct {
-	Object string `json:"object"`
-	Page   uint32 `json:"page"`
-}
-
-func (s *server) decodeQuery(w http.ResponseWriter, r *http.Request) (plan.Query, *plan.Node, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a QuerySpec JSON document", http.StatusMethodNotAllowed)
-		return plan.Query{}, nil, false
-	}
-	qs, err := spec.Decode(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return plan.Query{}, nil, false
-	}
-	q, err := qs.ToQuery()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return plan.Query{}, nil, false
-	}
-	pl := plan.NewPlanner(s.gen.DB())
-	var root *plan.Node
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				http.Error(w, fmt.Sprint(rec), http.StatusBadRequest)
-				root = nil
-			}
-		}()
-		root = pl.Plan(q)
-	}()
-	if root == nil {
-		return plan.Query{}, nil, false
-	}
-	return q, root, true
-}
-
-func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	q, root, ok := s.decodeQuery(w, r)
-	if !ok {
-		return
-	}
-	start := time.Now()
-	resp := predictResponse{}
-	if tw := s.sys.Match(q); tw != nil {
-		resp.Workload = tw.Name
-		for _, p := range s.sys.LimitPrefetch(tw.Pred.PredictParallel(root)) {
-			obj := s.gen.DB().Registry.Lookup(p.Object)
-			name := fmt.Sprint(p.Object)
-			if obj != nil {
-				name = obj.Name
-			}
-			resp.Pages = append(resp.Pages, pageJSON{Object: name, Page: uint32(p.Page)})
-		}
-	} else {
-		resp.Fallback = true
-	}
-	resp.PageCount = len(resp.Pages)
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, resp)
-}
-
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	_, root, ok := s.decodeQuery(w, r)
-	if !ok {
-		return
-	}
-	writeJSON(w, predictResponse{
-		Plan:   root.Display(),
-		Tokens: serialize.Serialize(root, serialize.DefaultConfig()),
-	})
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	type workloadInfo struct {
-		Name   string `json:"name"`
-		Models int    `json:"models"`
-		Params int    `json:"params"`
-	}
-	var info []workloadInfo
-	for _, tw := range s.sys.Workloads() {
-		info = append(info, workloadInfo{
-			Name: tw.Name, Models: len(tw.Pred.Models()), Params: tw.Pred.ParamCount(),
-		})
-	}
-	writeJSON(w, map[string]any{"status": "ok", "workloads": info})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("pythia-serve: encoding response: %v", err)
-	}
-}
 
 func main() {
 	var (
@@ -152,8 +44,14 @@ func main() {
 	flag.Parse()
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
+	metrics := serve.NewMetrics(nil)
 	cfg := corepythia.DefaultConfig()
 	cfg.Predictor.Model.Threads = *threads
+	cfg.Recorder = metrics.Events()
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		log.Fatalf("pythia-serve: invalid config: %v", err)
+	}
 	sys := corepythia.New(gen.DB(), cfg)
 	for _, tpl := range strings.Split(*templates, ",") {
 		tpl = strings.TrimSpace(tpl)
@@ -167,11 +65,7 @@ func main() {
 		log.Printf("trained %s in %s", tpl, time.Since(start).Round(time.Second))
 	}
 
-	srv := &server{gen: gen, sys: sys}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", srv.handlePredict)
-	mux.HandleFunc("/explain", srv.handleExplain)
-	mux.HandleFunc("/healthz", srv.handleHealth)
+	srv := serve.New(gen.DB(), sys, metrics)
 	log.Printf("pythia-serve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

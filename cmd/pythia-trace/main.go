@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"strings"
 
 	"github.com/pythia-db/pythia/internal/dsb"
@@ -34,7 +35,10 @@ func main() {
 	q := queries[*instance]
 
 	pl := plan.NewPlanner(gen.DB())
-	root := pl.Plan(q)
+	root, err := pl.Plan(q)
+	if err != nil {
+		log.Fatalf("pythia-trace: %v", err)
+	}
 
 	fmt.Printf("=== %s instance %d ===\n\n", *template, *instance)
 	fmt.Println("physical plan:")

@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
@@ -46,13 +47,14 @@ func (p Policy) String() string {
 
 // Stats counts buffer pool events for one run.
 type Stats struct {
-	Hits          uint64 // requests served from the pool
-	Misses        uint64 // requests that had to read below the pool
-	Evictions     uint64 // frames replaced
-	Inserts       uint64 // pages brought into the pool
-	PrefetchedIn  uint64 // pages inserted by the prefetcher
-	PrefetchHits  uint64 // prefetched pages later hit by the executor
-	FailedInserts uint64 // inserts refused because every frame was pinned
+	Hits           uint64 // requests served from the pool
+	Misses         uint64 // requests that had to read below the pool
+	Evictions      uint64 // frames replaced
+	Inserts        uint64 // pages brought into the pool
+	PrefetchedIn   uint64 // pages inserted by the prefetcher
+	PrefetchHits   uint64 // prefetched pages later hit by the executor
+	PrefetchWasted uint64 // prefetched pages evicted before any executor use
+	FailedInserts  uint64 // inserts refused because every frame was pinned
 }
 
 // HitRatio returns hits / (hits+misses), or 0 for an idle pool.
@@ -80,6 +82,7 @@ type Pool struct {
 	policy   Policy
 	frames   map[storage.PageID]*frame
 	stats    Stats
+	rec      obs.Recorder // nil = observability off (one nil-check per event)
 
 	// Clock state: a ring of frames and the sweep hand. Holes (nil) are
 	// reused before the ring grows.
@@ -117,6 +120,19 @@ func (p *Pool) Policy() Policy { return p.policy }
 // Stats returns a copy of the pool's counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// SetRecorder attaches an event recorder (nil detaches). The pool emits
+// BufferHit/BufferMiss on Get, BufferInsert/PrefetchedIn on Insert,
+// BufferEvict/PrefetchWasted on eviction, BufferInsertFailed when every
+// frame is pinned, and PrefetchHit when the executor consumes a prefetched
+// frame.
+func (p *Pool) SetRecorder(rec obs.Recorder) { p.rec = rec }
+
+func (p *Pool) record(k obs.Kind, pg storage.PageID) {
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery, Page: pg})
+	}
+}
+
 // Contains reports residency without touching usage information or stats;
 // the prefetcher uses it to skip pages already in the pool.
 func (p *Pool) Contains(pg storage.PageID) bool {
@@ -142,12 +158,15 @@ func (p *Pool) Get(pg storage.PageID) bool {
 	f, ok := p.frames[pg]
 	if !ok {
 		p.stats.Misses++
+		p.record(obs.BufferMiss, pg)
 		return false
 	}
 	p.stats.Hits++
+	p.record(obs.BufferHit, pg)
 	if f.prefetched {
 		f.prefetched = false
 		p.stats.PrefetchHits++
+		p.record(obs.PrefetchHit, pg)
 	}
 	p.touch(f)
 	return true
@@ -167,6 +186,7 @@ func (p *Pool) Insert(pg storage.PageID, prefetched bool) bool {
 		victim := p.victim()
 		if victim == nil {
 			p.stats.FailedInserts++
+			p.record(obs.BufferInsertFailed, pg)
 			return false
 		}
 		p.evict(victim)
@@ -175,8 +195,10 @@ func (p *Pool) Insert(pg storage.PageID, prefetched bool) bool {
 	p.frames[pg] = f
 	p.attach(f)
 	p.stats.Inserts++
+	p.record(obs.BufferInsert, pg)
 	if prefetched {
 		p.stats.PrefetchedIn++
+		p.record(obs.PrefetchedIn, pg)
 	}
 	return true
 }
@@ -272,6 +294,11 @@ func (p *Pool) evict(f *frame) {
 	p.detach(f)
 	delete(p.frames, f.page)
 	p.stats.Evictions++
+	p.record(obs.BufferEvict, f.page)
+	if f.prefetched {
+		p.stats.PrefetchWasted++
+		p.record(obs.PrefetchWasted, f.page)
+	}
 }
 
 // victim selects an unpinned frame to evict, or nil if none exists.

@@ -261,7 +261,7 @@ func (g *Generator) Queries(template string, n int, seed uint64) []plan.Query {
 
 // Workload generates, plans, and executes n instances of the template.
 func (g *Generator) Workload(template string, n int, seed uint64) *workload.Workload {
-	return workload.Build(template, g.db, g.Queries(template, n, seed))
+	return workload.MustBuild(template, g.db, g.Queries(template, n, seed))
 }
 
 // dateWindow draws a date-range predicate: the start is snapped to a

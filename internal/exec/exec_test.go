@@ -27,7 +27,7 @@ func starDB() *catalog.Database {
 func TestSeqScanCountsAndRequests(t *testing.T) {
 	db := starDB()
 	pl := plan.NewPlanner(db)
-	root := pl.Plan(plan.Query{Fact: "sales"})
+	root := pl.MustPlan(plan.Query{Fact: "sales"})
 	res := Run(root)
 	if res.Rows != 2000 {
 		t.Fatalf("Rows = %d, want 2000", res.Rows)
@@ -58,7 +58,7 @@ func TestSeqScanCountsAndRequests(t *testing.T) {
 func TestSeqScanPredicateFilters(t *testing.T) {
 	db := starDB()
 	pl := plan.NewPlanner(db)
-	root := pl.Plan(plan.Query{
+	root := pl.MustPlan(plan.Query{
 		Fact:      "sales",
 		FactPreds: []plan.Pred{plan.Between("s_amount", 0, 99)},
 	})
@@ -82,7 +82,7 @@ func TestSeqScanPredicateFilters(t *testing.T) {
 func TestNestedLoopProbesIndexAndHeap(t *testing.T) {
 	db := starDB()
 	pl := plan.NewPlanner(db)
-	root := pl.Plan(plan.Query{
+	root := pl.MustPlan(plan.Query{
 		Fact:      "sales",
 		FactPreds: []plan.Pred{plan.Between("s_amount", 0, 19)}, // ~2%
 		Dims:      []plan.DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true}},
@@ -137,8 +137,8 @@ func TestHashJoinEquivalentToNestedLoop(t *testing.T) {
 		Preds:     []plan.Pred{plan.Between("i_cat", 0, 4)},
 		ForceHash: true,
 	}}
-	rNLJ := Run(pl.Plan(nlj))
-	rHJ := Run(pl.Plan(hj))
+	rNLJ := Run(pl.MustPlan(nlj))
+	rHJ := Run(pl.MustPlan(hj))
 	if rNLJ.Rows != rHJ.Rows {
 		t.Fatalf("join strategies disagree: NLJ=%d HJ=%d", rNLJ.Rows, rHJ.Rows)
 	}
@@ -163,7 +163,7 @@ func TestHashBuildRunsBeforeProbe(t *testing.T) {
 		Fact: "sales",
 		Dims: []plan.DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceHash: true}},
 	}
-	res := Run(pl.Plan(q))
+	res := Run(pl.MustPlan(q))
 	itemObj := db.Relation("item").Heap.ID
 	salesObj := db.Relation("sales").Heap.ID
 	sawSales := false
@@ -190,8 +190,8 @@ func TestDimensionPredicateAppliedAfterProbe(t *testing.T) {
 		Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true,
 		Preds: []plan.Pred{plan.Eq("i_cat", 3)},
 	}}
-	ru := Run(pl.Plan(unfiltered))
-	rf := Run(pl.Plan(filtered))
+	ru := Run(pl.MustPlan(unfiltered))
+	rf := Run(pl.MustPlan(filtered))
 	if rf.Rows >= ru.Rows {
 		t.Fatalf("dimension filter did not reduce rows: %d vs %d", rf.Rows, ru.Rows)
 	}
@@ -209,8 +209,8 @@ func TestDeterministicExecution(t *testing.T) {
 		FactPreds: []plan.Pred{plan.Between("s_amount", 0, 49)},
 		Dims:      []plan.DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true}},
 	}
-	a := Run(pl.Plan(q))
-	b := Run(pl.Plan(q))
+	a := Run(pl.MustPlan(q))
+	b := Run(pl.MustPlan(q))
 	if a.Rows != b.Rows || len(a.Requests) != len(b.Requests) {
 		t.Fatal("re-execution differs")
 	}
@@ -227,7 +227,7 @@ func TestAmbiguousColumnPanics(t *testing.T) {
 	b := db.AddRelation("b", 10, 10, []catalog.Column{{Name: "x", Gen: catalog.Serial{}}})
 	db.BuildIndex(b, "x", index.Config{})
 	pl := plan.NewPlanner(db)
-	root := pl.Plan(plan.Query{
+	root := pl.MustPlan(plan.Query{
 		Fact: "a",
 		Dims: []plan.DimJoin{{Dim: "b", FactFK: "x", DimKey: "x", ForceIndex: true}},
 	})

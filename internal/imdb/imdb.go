@@ -243,5 +243,5 @@ func (g *Generator) Queries(n int, seed uint64) []plan.Query {
 
 // Workload generates, plans, and executes n template-1a instances.
 func (g *Generator) Workload(n int, seed uint64) *workload.Workload {
-	return workload.Build("imdb1a", g.db, g.Queries(n, seed))
+	return workload.MustBuild("imdb1a", g.db, g.Queries(n, seed))
 }

@@ -1,0 +1,97 @@
+package obs
+
+import "sync/atomic"
+
+// Counters is a fixed array of per-kind event totals. It is the cheapest
+// Recorder: one array increment per event, no allocation, not synchronized —
+// correct for the single-threaded replay simulator. Use AtomicCounters where
+// multiple goroutines record.
+//
+// The zero value is ready to use.
+type Counters [KindCount]uint64
+
+// Record implements Recorder.
+func (c *Counters) Record(e Event) {
+	if e.Kind < KindCount {
+		c[e.Kind]++
+	}
+}
+
+// Get returns the total for one kind.
+func (c *Counters) Get(k Kind) uint64 {
+	if k < KindCount {
+		return c[k]
+	}
+	return 0
+}
+
+// Add merges other into c.
+func (c *Counters) Add(other *Counters) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Total returns the sum over all kinds (a quick "anything recorded?" probe).
+func (c *Counters) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// HitRatio returns hits/(hits+misses) for a (hit, miss) kind pair, or 0
+// when idle — e.g. HitRatio(BufferHit, BufferMiss).
+func (c *Counters) HitRatio(hit, miss Kind) float64 {
+	total := c.Get(hit) + c.Get(miss)
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Get(hit)) / float64(total)
+}
+
+// Map renders the non-zero counters keyed by kind name, for JSON surfaces
+// and test failure messages.
+func (c *Counters) Map() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k := Kind(0); k < KindCount; k++ {
+		if c[k] != 0 {
+			out[k.String()] = c[k]
+		}
+	}
+	return out
+}
+
+// AtomicCounters is Counters for concurrent recorders (the HTTP serving
+// path): one atomic add per event, no allocation.
+//
+// The zero value is ready to use.
+type AtomicCounters [KindCount]atomic.Uint64
+
+// Record implements Recorder.
+func (c *AtomicCounters) Record(e Event) {
+	if e.Kind < KindCount {
+		c[e.Kind].Add(1)
+	}
+}
+
+// Get returns the total for one kind.
+func (c *AtomicCounters) Get(k Kind) uint64 {
+	if k < KindCount {
+		return c[k].Load()
+	}
+	return 0
+}
+
+// Snapshot copies the current totals into a plain Counters value.
+func (c *AtomicCounters) Snapshot() Counters {
+	var out Counters
+	for i := range c {
+		out[i] = c[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < KindCount; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if KindCount.String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestCountersRecordAndDerive(t *testing.T) {
+	var c Counters
+	for i := 0; i < 3; i++ {
+		c.Record(Event{Kind: BufferHit})
+	}
+	c.Record(Event{Kind: BufferMiss})
+	c.Record(Event{Kind: KindCount + 7}) // out of range: ignored, no panic
+	if c.Get(BufferHit) != 3 || c.Get(BufferMiss) != 1 {
+		t.Fatalf("counts wrong: %v", c.Map())
+	}
+	if got := c.HitRatio(BufferHit, BufferMiss); got != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", got)
+	}
+	if c.HitRatio(OSCacheHit, OSCacheMiss) != 0 {
+		t.Fatal("idle hit ratio should be 0")
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total = %d, want 4", c.Total())
+	}
+	m := c.Map()
+	if len(m) != 2 || m["buffer_hit"] != 3 {
+		t.Fatalf("map wrong: %v", m)
+	}
+
+	var d Counters
+	d.Record(Event{Kind: BufferHit})
+	d.Add(&c)
+	if d.Get(BufferHit) != 4 {
+		t.Fatalf("add wrong: %v", d.Map())
+	}
+	d.Reset()
+	if d.Total() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestCountersAllocFree(t *testing.T) {
+	var c Counters
+	var rec Recorder = &c
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Record(Event{Kind: DiskRead, Query: 3, Page: storage.PageID{Object: 1, Page: 9}})
+	})
+	if allocs != 0 {
+		t.Fatalf("Counters.Record allocates %v/op", allocs)
+	}
+}
+
+func TestAtomicCounters(t *testing.T) {
+	var c AtomicCounters
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				c.Record(Event{Kind: OSCacheHit})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Get(OSCacheHit) != 4000 {
+		t.Fatalf("atomic count = %d, want 4000", c.Get(OSCacheHit))
+	}
+	snap := c.Snapshot()
+	if snap.Get(OSCacheHit) != 4000 {
+		t.Fatal("snapshot mismatch")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b Counters
+	m := Multi{&a, nil, &b}
+	m.Record(Event{Kind: PrefetchPinned})
+	if a.Get(PrefetchPinned) != 1 || b.Get(PrefetchPinned) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	l := NewEventLog(2)
+	l.Record(Event{Kind: BufferHit, Query: 0, Page: storage.PageID{Object: 2, Page: 5}, At: 1000})
+	l.Record(Event{Kind: DiskRead, Query: 1})
+	l.Record(Event{Kind: DiskRead, Query: 1}) // over the limit
+	if l.Len() != 2 || l.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+	var sb strings.Builder
+	if _, err := l.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "buffer_hit") || !strings.Contains(lines[0], "\t2\t5") {
+		t.Fatalf("dump line wrong: %q", lines[0])
+	}
+	if got := l.Events()[1].Kind; got != DiskRead {
+		t.Fatalf("retained event wrong: %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)      // bucket 0
+	h.Observe(10 * time.Millisecond) // bucket 1
+	h.Observe(time.Minute)           // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	cum := h.Cumulative()
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if h.Sum() != time.Microsecond+10*time.Millisecond+time.Minute {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if len(NewHistogram(nil).Bounds()) != len(DefaultLatencyBuckets) {
+		t.Fatal("default buckets not used")
+	}
+}

@@ -16,6 +16,7 @@ package oscache
 import (
 	"container/list"
 
+	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
@@ -59,6 +60,7 @@ type Cache struct {
 	pages     map[storage.PageID]*list.Element
 	lru       *list.List // front = most recently used
 	stats     Stats
+	rec       obs.Recorder // nil = observability off (one nil-check per event)
 }
 
 // New returns a cache holding capacity pages with the given maximum
@@ -89,6 +91,17 @@ func (c *Cache) Len() int { return c.lru.Len() }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetRecorder attaches an event recorder (nil detaches). The cache emits
+// OSCacheHit/OSCacheMiss per read, OSReadaheadPage per page fetched
+// asynchronously, and OSCacheEvict per eviction.
+func (c *Cache) SetRecorder(rec obs.Recorder) { c.rec = rec }
+
+func (c *Cache) record(k obs.Kind, p storage.PageID) {
+	if c.rec != nil {
+		c.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery, Page: p})
+	}
+}
 
 // Contains reports residency without side effects.
 func (c *Cache) Contains(p storage.PageID) bool {
@@ -128,6 +141,7 @@ func (c *Cache) Read(s *Stream, p storage.PageID, objPages storage.PageNum) (hit
 				continue
 			}
 			c.insert(ra)
+			c.record(obs.OSReadaheadPage, ra)
 			readahead = append(readahead, ra)
 		}
 		if len(readahead) > 0 {
@@ -144,9 +158,11 @@ func (c *Cache) touchOrMiss(p storage.PageID) bool {
 	if e, ok := c.pages[p]; ok {
 		c.lru.MoveToFront(e)
 		c.stats.Hits++
+		c.record(obs.OSCacheHit, p)
 		return true
 	}
 	c.stats.Misses++
+	c.record(obs.OSCacheMiss, p)
 	c.insert(p)
 	return false
 }
@@ -162,6 +178,7 @@ func (c *Cache) insert(p storage.PageID) {
 		c.lru.Remove(back)
 		delete(c.pages, victim)
 		c.stats.Evictions++
+		c.record(obs.OSCacheEvict, victim)
 	}
 	c.pages[p] = c.lru.PushFront(p)
 }

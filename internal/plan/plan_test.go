@@ -76,7 +76,7 @@ func TestPlannerSelectiveQueryUsesIndex(t *testing.T) {
 		FactPreds: []Pred{Between("s_amount", 0, 9)}, // ~1% of rows
 		Dims:      []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
 	}
-	root := pl.Plan(q)
+	root := pl.MustPlan(q)
 	if root.Kind != KindAgg {
 		t.Fatalf("root = %v", root.Kind)
 	}
@@ -97,7 +97,7 @@ func TestPlannerUnselectiveQueryUsesHash(t *testing.T) {
 		Fact: "sales",
 		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
 	}
-	join := pl.Plan(q).Left
+	join := pl.MustPlan(q).Left
 	if join.Kind != KindHashJoin {
 		t.Fatalf("unselective query planned %v, want hash join", join.Kind)
 	}
@@ -113,13 +113,13 @@ func TestPlannerForceOverrides(t *testing.T) {
 		Fact: "sales",
 		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true}},
 	}
-	if pl.Plan(q).Left.Kind != KindNestedLoop {
+	if pl.MustPlan(q).Left.Kind != KindNestedLoop {
 		t.Fatal("ForceIndex ignored")
 	}
 	q.Dims[0].ForceIndex = false
 	q.Dims[0].ForceHash = true
 	q.FactPreds = []Pred{Eq("s_sk", 1)}
-	if pl.Plan(q).Left.Kind != KindHashJoin {
+	if pl.MustPlan(q).Left.Kind != KindHashJoin {
 		t.Fatal("ForceHash ignored")
 	}
 }
@@ -136,15 +136,15 @@ func TestPlanShapeDistinguishesPlans(t *testing.T) {
 		Fact: "sales",
 		Dims: []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk"}},
 	}
-	s1 := pl.Plan(selective).Shape()
-	s2 := pl.Plan(broad).Shape()
+	s1 := pl.MustPlan(selective).Shape()
+	s2 := pl.MustPlan(broad).Shape()
 	if s1 == s2 {
 		t.Fatal("different physical plans share a Shape")
 	}
 	// Same plan, different constants → same Shape.
 	selective2 := selective
 	selective2.FactPreds = []Pred{Between("s_amount", 20, 29)}
-	if pl.Plan(selective2).Shape() != s1 {
+	if pl.MustPlan(selective2).Shape() != s1 {
 		t.Fatal("constant change altered Shape")
 	}
 }
@@ -161,7 +161,7 @@ func TestWalkPreorder(t *testing.T) {
 		},
 	}
 	var kinds []Kind
-	pl.Plan(q).Walk(func(n *Node) { kinds = append(kinds, n.Kind) })
+	pl.MustPlan(q).Walk(func(n *Node) { kinds = append(kinds, n.Kind) })
 	want := []Kind{KindAgg, KindNestedLoop, KindNestedLoop, KindSeqScan, KindIndexScan, KindIndexScan}
 	if len(kinds) != len(want) {
 		t.Fatalf("walk kinds = %v", kinds)
@@ -181,7 +181,7 @@ func TestDisplayMentionsEverything(t *testing.T) {
 		FactPreds: []Pred{Eq("s_amount", 5)},
 		Dims:      []DimJoin{{Dim: "item", FactFK: "s_item_fk", DimKey: "i_sk", ForceIndex: true, Preds: []Pred{Eq("i_cat", 3)}}},
 	}
-	out := pl.Plan(q).Display()
+	out := pl.MustPlan(q).Display()
 	for _, want := range []string{"Aggregate", "Nested Loop", "Seq Scan on sales", "Index Scan on item", "item_i_sk_idx", "s_amount = 5", "i_cat = 3"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Display missing %q:\n%s", want, out)
@@ -206,15 +206,21 @@ func TestSelectivityEstimates(t *testing.T) {
 	}
 }
 
-func TestPlanUnknownRelationPanics(t *testing.T) {
+func TestPlanUnknownRelationErrors(t *testing.T) {
 	db := starDB()
 	pl := NewPlanner(db)
+	if _, err := pl.Plan(Query{Fact: "nope"}); err == nil {
+		t.Fatal("unknown fact did not error")
+	}
+	if _, err := pl.Plan(Query{Fact: "sales", Dims: []DimJoin{{Dim: "nope", FactFK: "d", DimKey: "id"}}}); err == nil {
+		t.Fatal("unknown dimension did not error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("unknown fact did not panic")
+			t.Fatal("MustPlan on invalid query did not panic")
 		}
 	}()
-	pl.Plan(Query{Fact: "nope"})
+	pl.MustPlan(Query{Fact: "nope"})
 }
 
 func TestKindString(t *testing.T) {

@@ -72,13 +72,15 @@ func combinedSelectivity(rel *catalog.Relation, preds []Pred) float64 {
 	return sel
 }
 
-// Plan builds the physical plan for q. It panics on references to unknown
-// relations/columns — query specs are produced by the template generators,
-// so a dangling name is a programming error.
-func (pl *Planner) Plan(q Query) *Node {
+// Plan builds the physical plan for q. References to unknown relations or
+// impossible force-hints are reported as errors: query specs can come from
+// untrusted sources (the pythia-serve HTTP surface), so a dangling name is
+// an input problem, not a panic. Callers holding generator-produced queries
+// can use MustPlan.
+func (pl *Planner) Plan(q Query) (*Node, error) {
 	fact := pl.DB.Relation(q.Fact)
 	if fact == nil {
-		panic("plan: unknown fact relation " + q.Fact)
+		return nil, fmt.Errorf("plan: unknown fact relation %q", q.Fact)
 	}
 	// Fact access path: DSB's I/O-heavy templates sequentially scan the
 	// fact table (paper §5.1); an index path could be added here, but the
@@ -94,7 +96,7 @@ func (pl *Planner) Plan(q Query) *Node {
 	for _, dj := range q.Dims {
 		dim := pl.DB.Relation(dj.Dim)
 		if dim == nil {
-			panic("plan: unknown dimension relation " + dj.Dim)
+			return nil, fmt.Errorf("plan: unknown dimension relation %q", dj.Dim)
 		}
 		idx := dim.IndexOn(dj.DimKey)
 		dimSel := combinedSelectivity(dim, dj.Preds)
@@ -107,7 +109,7 @@ func (pl *Planner) Plan(q Query) *Node {
 			useIndex = false
 		}
 		if dj.ForceIndex && idx == nil {
-			panic(fmt.Sprintf("plan: ForceIndex on %s.%s but no index", dj.Dim, dj.DimKey))
+			return nil, fmt.Errorf("plan: ForceIndex on %s.%s but no index", dj.Dim, dj.DimKey)
 		}
 
 		if useIndex {
@@ -145,7 +147,18 @@ func (pl *Planner) Plan(q Query) *Node {
 	}
 
 	agg := &Node{Kind: KindAgg, Left: cur, EstRows: 1}
-	return agg
+	return agg, nil
+}
+
+// MustPlan is Plan for queries known valid by construction (template
+// generators, round-trip tests); a planning error there is a programming
+// bug, so it panics.
+func (pl *Planner) MustPlan(q Query) *Node {
+	root, err := pl.Plan(q)
+	if err != nil {
+		panic(err.Error())
+	}
+	return root
 }
 
 // nljCost estimates the cost of probing dim's index once per outer row:

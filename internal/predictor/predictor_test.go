@@ -57,7 +57,7 @@ func buildSamples(t *testing.T, db *catalog.Database, params []int64) ([]TrainSa
 	var plans []*plan.Node
 	var traces []*trace.Processed
 	for _, p := range params {
-		root := pl.Plan(templateQuery(p))
+		root := pl.MustPlan(templateQuery(p))
 		res := exec.Run(root)
 		tr := trace.Process(res.Requests)
 		samples = append(samples, TrainSample{Plan: root, Trace: tr})
@@ -154,7 +154,7 @@ func TestPredictIgnoresIrrelevantPlans(t *testing.T) {
 	q := templateQuery(100)
 	q.Dims[0].ForceIndex = false
 	q.Dims[0].ForceHash = true
-	root := pl.Plan(q)
+	root := pl.MustPlan(q)
 	if got := p.Predict(root); len(got) != 0 {
 		t.Fatalf("hash-only plan predicted %d pages", len(got))
 	}
@@ -173,7 +173,7 @@ func TestPartitioningSplitsModels(t *testing.T) {
 	}
 	// Partitioned prediction still works end to end.
 	pl := plan.NewPlanner(db)
-	if got := parted.Predict(pl.Plan(templateQuery(100))); len(got) == 0 {
+	if got := parted.Predict(pl.MustPlan(templateQuery(100))); len(got) == 0 {
 		t.Fatal("partitioned predictor predicted nothing")
 	}
 }
@@ -210,7 +210,7 @@ func TestGroupsCombineObjects(t *testing.T) {
 	}
 	// The combined model still predicts pages from both objects.
 	pl := plan.NewPlanner(db)
-	pred := p.Predict(pl.Plan(templateQuery(100)))
+	pred := p.Predict(pl.MustPlan(templateQuery(100)))
 	objs := map[uint32]bool{}
 	for _, pg := range pred {
 		objs[uint32(pg.Object)] = true

@@ -8,9 +8,11 @@
 package pythia
 
 import (
+	"fmt"
 	"strconv"
 
 	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	"github.com/pythia-db/pythia/internal/predictor"
 	"github.com/pythia-db/pythia/internal/replay"
@@ -33,6 +35,38 @@ type Config struct {
 	// ("we perform limited prefetching to stay within buffer memory
 	// bounds", §5.1). Default 0.75.
 	PrefetchBufferFraction float64
+	// Recorder, when non-nil, receives system-level events (workload
+	// matched/fallback, limited-prefetching truncation) and is threaded
+	// into every replay this system runs, so live per-level cache counters
+	// flow to it. Nil disables observability at zero cost.
+	Recorder obs.Recorder
+}
+
+// Normalize validates the configuration and fills unset (zero) fields with
+// defaults, including the nested replay config. Out-of-range values —
+// a negative window, a prefetch fraction outside (0, 1] — are errors, not
+// silently patched defaults.
+func (c Config) Normalize() (Config, error) {
+	if c.Window < 0 {
+		return c, fmt.Errorf("pythia: negative Window %d", c.Window)
+	}
+	if c.Window == 0 {
+		c.Window = 1024
+	}
+	if c.PrefetchBufferFraction < 0 || c.PrefetchBufferFraction > 1 {
+		return c, fmt.Errorf("pythia: PrefetchBufferFraction %g outside (0, 1]", c.PrefetchBufferFraction)
+	}
+	if c.PrefetchBufferFraction == 0 {
+		c.PrefetchBufferFraction = 0.75
+	}
+	if c.Replay.BufferPages == 0 {
+		c.Replay.BufferPages = 2048
+	}
+	var err error
+	if c.Replay, err = c.Replay.Normalize(); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // DefaultConfig returns the experiment harness defaults. The predictor
@@ -64,18 +98,22 @@ type System struct {
 	trained []*Trained
 }
 
-// New assembles a system over db.
+// New assembles a system over db. It panics on an invalid Config; call
+// Config.Normalize first to handle validation errors gracefully (the cmds
+// do).
 func New(db *catalog.Database, cfg Config) *System {
-	if cfg.Window <= 0 {
-		cfg.Window = 1024
-	}
-	if cfg.PrefetchBufferFraction <= 0 || cfg.PrefetchBufferFraction > 1 {
-		cfg.PrefetchBufferFraction = 0.75
-	}
-	if cfg.Replay.BufferPages <= 0 {
-		cfg.Replay.BufferPages = 2048
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		panic(err.Error())
 	}
 	return &System{DB: db, cfg: cfg}
+}
+
+// record emits one system-level event to the configured recorder.
+func (s *System) record(k obs.Kind) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Record(obs.Event{Kind: k, Query: obs.NoQuery})
+	}
 }
 
 // Config returns the system's configuration.
@@ -111,10 +149,14 @@ func (s *System) Workloads() []*Trained { return s.trained }
 // replacement-policy, and cost sweeps (Figures 12e–f) retrain nothing.
 func (s *System) WithReplay(rc replay.Config) *System {
 	clone := *s
-	if rc.BufferPages <= 0 {
+	if rc.BufferPages == 0 {
 		rc.BufferPages = s.cfg.Replay.BufferPages
 	}
-	clone.cfg.Replay = rc
+	normalized, err := rc.Normalize()
+	if err != nil {
+		panic(err.Error())
+	}
+	clone.cfg.Replay = normalized
 	return &clone
 }
 
@@ -133,6 +175,16 @@ func (s *System) WithWindow(w int) *System {
 // untagged queries. Nil means Pythia does not engage and the query runs on
 // the default path (Algorithm 3, line 14).
 func (s *System) Match(q plan.Query) *Trained {
+	tw := s.match(q)
+	if tw != nil {
+		s.record(obs.WorkloadMatched)
+	} else {
+		s.record(obs.WorkloadFallback)
+	}
+	return tw
+}
+
+func (s *System) match(q plan.Query) *Trained {
 	for _, tw := range s.trained {
 		if q.Template != "" && tw.templates[q.Template] {
 			return tw
@@ -181,6 +233,7 @@ func (s *System) LimitPrefetch(pages []storage.PageID) []storage.PageID {
 	budget := int(float64(s.cfg.Replay.BufferPages) * s.cfg.PrefetchBufferFraction)
 	if len(pages) > budget {
 		pages = pages[:budget]
+		s.record(obs.PrefetchLimited)
 	}
 	return pages
 }
@@ -213,6 +266,11 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 	}
 	cfg := s.cfg.Replay
 	cfg.DefaultWindow = s.cfg.Window
+	if cfg.Recorder == nil {
+		// The system-level recorder observes every replay too, so live
+		// per-level cache counters flow to one place.
+		cfg.Recorder = s.cfg.Recorder
+	}
 	return replay.Run(s.DB.Registry, cfg, specs)
 }
 

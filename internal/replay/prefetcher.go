@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
 	"github.com/pythia-db/pythia/internal/storage"
@@ -39,11 +40,16 @@ func newPrefetcher(r *runner, pages []storage.PageID, window int) *prefetcher {
 // Until then pump is a no-op: executor progress (dummy requests) must not
 // start I/O for predictions that do not exist yet.
 func (p *prefetcher) start() {
+	p.r.enter()
 	p.started = true
 	p.pump()
 }
 
-// pump issues prefetches while the window and AIO depth allow.
+// pump issues prefetches while the window and AIO depth allow. A pump
+// attempt with queued pages but a full window is a window stall — the
+// flow-control event the readahead window R exists to create; it is counted
+// so window-sweep experiments can see the stall pressure, not just the
+// end-to-end time.
 func (p *prefetcher) pump() {
 	if p.done || !p.started {
 		return
@@ -55,6 +61,10 @@ func (p *prefetcher) pump() {
 		p.next++
 		p.issue(page)
 	}
+	if p.next < len(p.queue) && len(p.pinned)+p.inflight >= p.window {
+		p.r.result.WindowStalls++
+		p.r.record(obs.WindowStall, storage.PageID{})
+	}
 }
 
 // issue starts one asynchronous prefetch read.
@@ -64,8 +74,10 @@ func (p *prefetcher) issue(page storage.PageID) {
 		// count" — refresh and move on without I/O.
 		p.r.pool.Insert(page, false)
 		p.r.result.PrefetchSkip++
+		p.r.record(obs.PrefetchSkipped, page)
 		return
 	}
+	p.r.record(obs.PrefetchIssued, page)
 	now := p.r.eng.Now()
 	hit, readahead := p.r.osc.Read(p.stream, page, p.r.objPages(page))
 	for range readahead {
@@ -83,6 +95,7 @@ func (p *prefetcher) issue(page storage.PageID) {
 
 // arrived lands a prefetched page in the buffer pool and pins it.
 func (p *prefetcher) arrived(page storage.PageID) {
+	p.r.enter()
 	p.inflight--
 	if p.done {
 		return
@@ -91,10 +104,12 @@ func (p *prefetcher) arrived(page storage.PageID) {
 		p.r.pool.Pin(page)
 		p.pinned = append(p.pinned, page)
 		p.r.result.Prefetched++
+		p.r.record(obs.PrefetchPinned, page)
 	} else {
 		// Every frame pinned: limited prefetching backs off rather than
 		// deadlocking the pool.
 		p.r.result.PrefetchSkip++
+		p.r.record(obs.PrefetchSkipped, page)
 	}
 	p.pump()
 }

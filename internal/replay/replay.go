@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"github.com/pythia-db/pythia/internal/buffer"
+	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
 	"github.com/pythia-db/pythia/internal/storage"
@@ -63,29 +64,54 @@ type Config struct {
 	PrefetchWorkers int
 	// DefaultWindow is used when a QuerySpec leaves Window zero.
 	DefaultWindow int
+	// Recorder, when non-nil, receives a typed obs.Event for every cache,
+	// disk, and prefetcher occurrence of the run, each stamped with the
+	// active query index and virtual time, and enables the per-query and
+	// per-object counter snapshots on RunResult. Nil (the default) costs the
+	// hot path one nil-check per event site and nothing else.
+	Recorder obs.Recorder
 }
 
-// Defaults fills unset fields.
-func (c Config) withDefaults() Config {
+// Normalize validates the configuration and fills unset (zero) fields with
+// defaults. Negative values are rejected rather than silently patched: a
+// negative knob is always a caller bug, and the paper's sweeps depend on
+// configs meaning what they say. The returned Config is the one to run with.
+func (c Config) Normalize() (Config, error) {
+	switch {
+	case c.BufferPages < 0:
+		return c, fmt.Errorf("replay: negative BufferPages %d", c.BufferPages)
+	case c.OSCachePages < 0:
+		return c, fmt.Errorf("replay: negative OSCachePages %d", c.OSCachePages)
+	case c.ReadaheadMax < 0:
+		return c, fmt.Errorf("replay: negative ReadaheadMax %d", c.ReadaheadMax)
+	case c.PrefetchWorkers < 0:
+		return c, fmt.Errorf("replay: negative PrefetchWorkers %d", c.PrefetchWorkers)
+	case c.DefaultWindow < 0:
+		return c, fmt.Errorf("replay: negative DefaultWindow %d", c.DefaultWindow)
+	}
+	if c.Cost.DiskRead < 0 || c.Cost.SeqDiskRead < 0 || c.Cost.BufferHit < 0 ||
+		c.Cost.OSCacheCopy < 0 || c.Cost.PredictLatency < 0 {
+		return c, fmt.Errorf("replay: negative cost constant in %+v", c.Cost)
+	}
 	if c.Cost == (sim.CostModel{}) {
 		c.Cost = sim.DefaultCostModel()
 	}
-	if c.Cost.SeqDiskRead <= 0 {
+	if c.Cost.SeqDiskRead == 0 {
 		c.Cost.SeqDiskRead = c.Cost.DiskRead / 16
 	}
-	if c.BufferPages <= 0 {
+	if c.BufferPages == 0 {
 		c.BufferPages = 1024
 	}
-	if c.OSCachePages <= 0 {
+	if c.OSCachePages == 0 {
 		c.OSCachePages = 4 * c.BufferPages
 	}
-	if c.PrefetchWorkers <= 0 {
+	if c.PrefetchWorkers == 0 {
 		c.PrefetchWorkers = 4
 	}
-	if c.DefaultWindow <= 0 {
+	if c.DefaultWindow == 0 {
 		c.DefaultWindow = 1024
 	}
-	return c
+	return c, nil
 }
 
 // QueryResult is one query's timing and counters.
@@ -100,6 +126,12 @@ type QueryResult struct {
 	DiskReads    uint64 // foreground (executor-blocking) disk reads
 	Prefetched   uint64 // pages the prefetcher brought in
 	PrefetchSkip uint64 // prefetches skipped (already buffered / dropped)
+	WindowStalls uint64 // prefetcher pump attempts blocked by a full window
+
+	// Counters is the query's full per-kind event snapshot (buffer, OS
+	// cache, disk, and prefetcher events attributed to this query). It is
+	// nil unless Config.Recorder was set.
+	Counters *obs.Counters
 }
 
 // RunResult aggregates a replay.
@@ -109,6 +141,11 @@ type RunResult struct {
 	OS      oscache.Stats
 	Disk    uint64 // total device reads including readahead and prefetch
 	End     sim.Time
+
+	// Objects holds per-object event snapshots (which relation/index drew
+	// the hits, misses, and prefetches). It is nil unless Config.Recorder
+	// was set.
+	Objects map[storage.ObjectID]*obs.Counters
 }
 
 // Elapsed returns the result for query id, panicking if absent (harness
@@ -132,21 +169,76 @@ func (r *RunResult) TotalElapsed() sim.Duration {
 	return total
 }
 
-// Run replays the queries against a cold buffer pool and OS cache.
+// tagger is the run-local observability hub: every event from the buffer
+// pool, OS cache, and the runners passes through it. It stamps the active
+// query index and the virtual time, feeds the per-query and per-object
+// snapshot counters, and forwards to the user's recorder. The simulator is
+// single-threaded, so "active query" is a plain field the runners set on
+// entry to their callbacks.
+type tagger struct {
+	eng     *sim.Engine
+	sink    obs.Recorder // user recorder (may be nil: snapshots only)
+	current int32        // query index whose callback is executing
+	perQ    []obs.Counters
+	perObj  map[storage.ObjectID]*obs.Counters
+}
+
+// Record implements obs.Recorder.
+func (t *tagger) Record(e obs.Event) {
+	if e.Query == obs.NoQuery {
+		e.Query = t.current
+	}
+	if e.At == 0 {
+		e.At = t.eng.Now()
+	}
+	if e.Query >= 0 && int(e.Query) < len(t.perQ) {
+		t.perQ[e.Query].Record(e)
+	}
+	if e.Page.Object != storage.InvalidObject {
+		c := t.perObj[e.Page.Object]
+		if c == nil {
+			c = &obs.Counters{}
+			t.perObj[e.Page.Object] = c
+		}
+		c.Record(e)
+	}
+	if t.sink != nil {
+		t.sink.Record(e)
+	}
+}
+
+// Run replays the queries against a cold buffer pool and OS cache. It
+// panics on an invalid Config (call Config.Normalize first to handle
+// validation errors gracefully).
 func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		panic(err.Error())
+	}
 	eng := sim.NewEngine()
 	disk := sim.NewDisk(cfg.Cost.DiskRead, cfg.Cost.IOWorkers)
 	pool := buffer.New(cfg.BufferPages, cfg.BufferPolicy)
 	osc := oscache.New(cfg.OSCachePages, cfg.ReadaheadMax)
 
 	res := &RunResult{Queries: make([]QueryResult, len(queries))}
+	var tag *tagger
+	if cfg.Recorder != nil {
+		tag = &tagger{
+			eng:    eng,
+			sink:   cfg.Recorder,
+			perQ:   make([]obs.Counters, len(queries)),
+			perObj: make(map[storage.ObjectID]*obs.Counters),
+		}
+		pool.SetRecorder(tag)
+		osc.SetRecorder(tag)
+	}
 	for i := range queries {
 		q := &queries[i]
 		res.Queries[i].ID = q.ID
 		qr := &runner{
 			eng: eng, disk: disk, pool: pool, osc: osc, reg: reg,
 			cfg: cfg, spec: q, result: &res.Queries[i],
+			tag: tag, idx: int32(i),
 		}
 		eng.At(sim.Time(q.Arrival), qr.start)
 	}
@@ -154,6 +246,12 @@ func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
 	res.Buffer = pool.Stats()
 	res.OS = osc.Stats()
 	res.Disk = disk.Reads()
+	if tag != nil {
+		for i := range res.Queries {
+			res.Queries[i].Counters = &tag.perQ[i]
+		}
+		res.Objects = tag.perObj
+	}
 	return res
 }
 
@@ -169,9 +267,29 @@ type runner struct {
 
 	result *QueryResult
 
+	tag *tagger // nil = observability off
+	idx int32   // run-local query index for event attribution
+
 	execStream *oscache.Stream
 	pf         *prefetcher
 	reqIdx     int
+}
+
+// enter marks this runner's query as the active event source; every
+// engine callback of the runner or its prefetcher calls it first so that
+// buffer/oscache events fired during the callback are attributed correctly.
+func (r *runner) enter() {
+	if r.tag != nil {
+		r.tag.current = r.idx
+	}
+}
+
+// record emits one runner-level event (a kind the lower layers cannot see:
+// query lifecycle, foreground disk reads, prefetcher decisions).
+func (r *runner) record(k obs.Kind, pg storage.PageID) {
+	if r.tag != nil {
+		r.tag.Record(obs.Event{Kind: k, Query: r.idx, Page: pg})
+	}
 }
 
 func (r *runner) objPages(p storage.PageID) storage.PageNum {
@@ -183,7 +301,9 @@ func (r *runner) objPages(p storage.PageID) storage.PageNum {
 }
 
 func (r *runner) start() {
+	r.enter()
 	r.result.Start = r.eng.Now()
+	r.record(obs.QueryStart, storage.PageID{})
 	r.execStream = r.osc.NewStream()
 	if len(r.spec.Prefetch) > 0 {
 		window := r.spec.Window
@@ -201,6 +321,7 @@ func (r *runner) start() {
 // step services request reqIdx and schedules the next one at its completion
 // time.
 func (r *runner) step() {
+	r.enter()
 	if r.reqIdx >= len(r.spec.Requests) {
 		r.finish()
 		return
@@ -228,6 +349,7 @@ func (r *runner) step() {
 			delay += cost.OSCacheCopy
 		} else {
 			r.result.DiskReads++
+			r.record(obs.DiskRead, req.Page)
 			done := r.disk.Read(now)
 			delay += done.Sub(now) + cost.OSCacheCopy
 		}
@@ -246,6 +368,7 @@ func (r *runner) step() {
 func (r *runner) finish() {
 	r.result.End = r.eng.Now()
 	r.result.Elapsed = r.result.End.Sub(r.result.Start)
+	r.record(obs.QueryFinish, storage.PageID{})
 	if r.pf != nil {
 		r.pf.shutdown()
 	}

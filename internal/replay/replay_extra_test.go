@@ -9,8 +9,11 @@ import (
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
-func TestConfigDefaultsFilled(t *testing.T) {
-	c := (Config{}).withDefaults()
+func TestConfigNormalizeFillsDefaults(t *testing.T) {
+	c, err := (Config{}).Normalize()
+	if err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
 	if c.BufferPages != 1024 || c.OSCachePages != 4096 {
 		t.Fatalf("size defaults wrong: %+v", c)
 	}
@@ -21,10 +24,35 @@ func TestConfigDefaultsFilled(t *testing.T) {
 		t.Fatal("cost model default missing")
 	}
 	// Explicit values are preserved.
-	c2 := (Config{BufferPages: 77, OSCachePages: 99, PrefetchWorkers: 2, DefaultWindow: 5}).withDefaults()
+	c2, err := (Config{BufferPages: 77, OSCachePages: 99, PrefetchWorkers: 2, DefaultWindow: 5}).Normalize()
+	if err != nil {
+		t.Fatalf("explicit config invalid: %v", err)
+	}
 	if c2.BufferPages != 77 || c2.OSCachePages != 99 || c2.PrefetchWorkers != 2 || c2.DefaultWindow != 5 {
 		t.Fatalf("explicit config clobbered: %+v", c2)
 	}
+}
+
+func TestConfigNormalizeRejectsNegatives(t *testing.T) {
+	bad := []Config{
+		{BufferPages: -1},
+		{OSCachePages: -8},
+		{ReadaheadMax: -2},
+		{PrefetchWorkers: -1},
+		{DefaultWindow: -64},
+		{Cost: sim.CostModel{DiskRead: -time.Millisecond}},
+	}
+	for i, c := range bad {
+		if _, err := c.Normalize(); err == nil {
+			t.Fatalf("config %d (%+v) accepted", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with invalid config did not panic")
+		}
+	}()
+	Run(testRegistry(), Config{BufferPages: -1}, nil)
 }
 
 func TestZeroWindowUsesDefault(t *testing.T) {

@@ -25,7 +25,7 @@ func starDB() *catalog.Database {
 
 func mkPlan(db *catalog.Database, amountLo, amountHi int64, forceIndex bool) *plan.Node {
 	pl := plan.NewPlanner(db)
-	return pl.Plan(plan.Query{
+	return pl.MustPlan(plan.Query{
 		Fact:      "sales",
 		FactPreds: []plan.Pred{plan.Between("s_amount", amountLo, amountHi)},
 		Dims: []plan.DimJoin{{
@@ -155,7 +155,7 @@ func TestRangePredicateEmitsBothBounds(t *testing.T) {
 func TestOpenBoundTokens(t *testing.T) {
 	db := starDB()
 	pl := plan.NewPlanner(db)
-	root := pl.Plan(plan.Query{
+	root := pl.MustPlan(plan.Query{
 		Fact:      "sales",
 		FactPreds: []plan.Pred{plan.AtLeast("s_amount", 500)},
 	})

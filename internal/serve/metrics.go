@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+)
+
+// Metrics aggregates everything the serving surface exposes on /metrics and
+// /stats: HTTP request counts and latencies per endpoint, prediction
+// outcomes (fallback rate, predicted-set sizes), and the system's
+// observability counters (workload matching, and per-level cache events
+// from any replay the system runs).
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // endpoint → status code → count
+	latency  map[string]*obs.Histogram // endpoint → request latency
+
+	predictions    atomic.Uint64 // successful /predict responses
+	fallbacks      atomic.Uint64 // predictions answered by the fallback path
+	predictedPages atomic.Uint64 // total pages across predicted sets
+
+	events *obs.AtomicCounters // system + replay event totals
+}
+
+// NewMetrics returns an empty metrics hub recording system events into
+// counters (a fresh AtomicCounters when nil). Wire the same counters into
+// pythia's Config.Recorder so workload-matching and replay events surface
+// here.
+func NewMetrics(counters *obs.AtomicCounters) *Metrics {
+	if counters == nil {
+		counters = &obs.AtomicCounters{}
+	}
+	return &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*obs.Histogram),
+		events:   counters,
+	}
+}
+
+// Events returns the system event counters (also an obs.Recorder).
+func (m *Metrics) Events() *obs.AtomicCounters { return m.events }
+
+// Uptime reports time since the metrics hub was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// observeRequest records one completed HTTP request.
+func (m *Metrics) observeRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.latency[endpoint] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// observePrediction records one served prediction.
+func (m *Metrics) observePrediction(pages int, fallback bool) {
+	m.predictions.Add(1)
+	if fallback {
+		m.fallbacks.Add(1)
+	}
+	m.predictedPages.Add(uint64(pages))
+}
+
+// requestRow is one (endpoint, code, count) cell in snapshot order.
+type requestRow struct {
+	Endpoint string `json:"endpoint"`
+	Code     int    `json:"code"`
+	Count    uint64 `json:"count"`
+}
+
+// latencyRow is one endpoint's latency summary.
+type latencyRow struct {
+	Endpoint   string  `json:"endpoint"`
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	AvgSeconds float64 `json:"avg_seconds"`
+}
+
+// snapshotRequests returns the request table sorted by (endpoint, code) so
+// /metrics and /stats render deterministically.
+func (m *Metrics) snapshotRequests() []requestRow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rows []requestRow
+	for ep, byCode := range m.requests {
+		for code, n := range byCode {
+			rows = append(rows, requestRow{Endpoint: ep, Code: code, Count: n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Endpoint != rows[j].Endpoint {
+			return rows[i].Endpoint < rows[j].Endpoint
+		}
+		return rows[i].Code < rows[j].Code
+	})
+	return rows
+}
+
+// snapshotLatency returns per-endpoint latency summaries, sorted.
+func (m *Metrics) snapshotLatency() []latencyRow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rows []latencyRow
+	for ep, h := range m.latency {
+		row := latencyRow{Endpoint: ep, Count: h.Count(), SumSeconds: h.Sum().Seconds()}
+		if row.Count > 0 {
+			row.AvgSeconds = row.SumSeconds / float64(row.Count)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Endpoint < rows[j].Endpoint })
+	return rows
+}
+
+// histograms returns the latency histograms keyed by endpoint, sorted by
+// endpoint name, for the Prometheus renderer.
+func (m *Metrics) histograms() (endpoints []string, hists []*obs.Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for ep := range m.latency {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		hists = append(hists, m.latency[ep])
+	}
+	return endpoints, hists
+}
+
+// statusWriter captures the response status code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency observation
+// under the given endpoint label.
+func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		m.observeRequest(endpoint, sw.code, time.Since(start))
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/pythia-db/pythia/internal/obs"
+)
+
+// writePrometheus renders the full metrics surface in the Prometheus text
+// exposition format (version 0.0.4): request counters, latency histograms,
+// prediction outcomes, per-kind event totals, and derived per-level hit
+// ratios. Output order is deterministic.
+func (s *Server) writePrometheus(w io.Writer) {
+	m := s.metrics
+
+	fmt.Fprintln(w, "# HELP pythia_http_requests_total HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE pythia_http_requests_total counter")
+	for _, row := range m.snapshotRequests() {
+		fmt.Fprintf(w, "pythia_http_requests_total{endpoint=%q,code=%q} %d\n",
+			row.Endpoint, strconv.Itoa(row.Code), row.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP pythia_http_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE pythia_http_request_duration_seconds histogram")
+	endpoints, hists := m.histograms()
+	for i, ep := range endpoints {
+		h := hists[i]
+		cum := h.Cumulative()
+		for j, bound := range h.Bounds() {
+			fmt.Fprintf(w, "pythia_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, formatFloat(bound.Seconds()), cum[j])
+		}
+		fmt.Fprintf(w, "pythia_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n",
+			ep, cum[len(cum)-1])
+		fmt.Fprintf(w, "pythia_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			ep, formatFloat(h.Sum().Seconds()))
+		fmt.Fprintf(w, "pythia_http_request_duration_seconds_count{endpoint=%q} %d\n",
+			ep, h.Count())
+	}
+
+	fmt.Fprintln(w, "# HELP pythia_predictions_total Served predictions by outcome.")
+	fmt.Fprintln(w, "# TYPE pythia_predictions_total counter")
+	total, fb := m.predictions.Load(), m.fallbacks.Load()
+	fmt.Fprintf(w, "pythia_predictions_total{outcome=\"matched\"} %d\n", total-fb)
+	fmt.Fprintf(w, "pythia_predictions_total{outcome=\"fallback\"} %d\n", fb)
+
+	fmt.Fprintln(w, "# HELP pythia_predicted_pages_total Pages across all predicted sets.")
+	fmt.Fprintln(w, "# TYPE pythia_predicted_pages_total counter")
+	fmt.Fprintf(w, "pythia_predicted_pages_total %d\n", m.predictedPages.Load())
+
+	fmt.Fprintln(w, "# HELP pythia_events_total Cache-hierarchy and system events by kind.")
+	fmt.Fprintln(w, "# TYPE pythia_events_total counter")
+	snap := m.events.Snapshot()
+	for k := obs.Kind(0); k < obs.KindCount; k++ {
+		fmt.Fprintf(w, "pythia_events_total{kind=%q} %d\n", k.String(), snap.Get(k))
+	}
+
+	fmt.Fprintln(w, "# HELP pythia_buffer_hit_ratio Buffer pool hit ratio over recorded events.")
+	fmt.Fprintln(w, "# TYPE pythia_buffer_hit_ratio gauge")
+	fmt.Fprintf(w, "pythia_buffer_hit_ratio %s\n", formatFloat(snap.HitRatio(obs.BufferHit, obs.BufferMiss)))
+	fmt.Fprintln(w, "# HELP pythia_oscache_hit_ratio OS page cache hit ratio over recorded events.")
+	fmt.Fprintln(w, "# TYPE pythia_oscache_hit_ratio gauge")
+	fmt.Fprintf(w, "pythia_oscache_hit_ratio %s\n", formatFloat(snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss)))
+
+	fmt.Fprintln(w, "# HELP pythia_workloads Trained workloads loaded in the server.")
+	fmt.Fprintln(w, "# TYPE pythia_workloads gauge")
+	fmt.Fprintf(w, "pythia_workloads %d\n", len(s.sys.Workloads()))
+
+	params := 0
+	for _, tw := range s.sys.Workloads() {
+		params += tw.Pred.ParamCount()
+	}
+	fmt.Fprintln(w, "# HELP pythia_model_params Total trained model parameters.")
+	fmt.Fprintln(w, "# TYPE pythia_model_params gauge")
+	fmt.Fprintf(w, "pythia_model_params %d\n", params)
+
+	fmt.Fprintln(w, "# HELP pythia_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE pythia_uptime_seconds gauge")
+	fmt.Fprintf(w, "pythia_uptime_seconds %s\n", formatFloat(m.Uptime().Seconds()))
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest exact
+// decimal, no exponent surprises for the magnitudes we emit).
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,291 @@
+// Package serve implements pythia-serve's HTTP surface: the versioned /v1
+// prediction API, deprecated unversioned aliases, and the runtime
+// observability endpoints (/metrics in Prometheus text format, /stats as
+// JSON). The cmd/pythia-serve binary is a thin flag-parsing wrapper around
+// this package, which keeps the whole surface testable with httptest.
+//
+// API contract:
+//
+//	POST /v1/predict   QuerySpec JSON → predicted pages + matched workload
+//	POST /v1/explain   QuerySpec JSON → plan display + Algorithm 2 tokens
+//	GET  /v1/healthz   liveness + model inventory
+//	GET  /metrics      Prometheus text exposition
+//	GET  /stats        JSON statistics snapshot
+//
+// The unversioned /predict, /explain, and /healthz aliases still work but
+// answer with a Deprecation header pointing at their /v1 successors.
+//
+// Every non-200 response carries a typed JSON error envelope:
+//
+//	{"error": {"code": "invalid_spec", "message": "..."}}
+//
+// Handlers honor the request context: a prediction for a client that has
+// disconnected is abandoned rather than computed to completion.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/plan"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/serialize"
+	"github.com/pythia-db/pythia/internal/spec"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// Error codes of the JSON error envelope.
+const (
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInvalidSpec      = "invalid_spec"
+	CodePlanFailed       = "plan_failed"
+	CodeClientGone       = "client_disconnected"
+)
+
+// StatusClientClosedRequest mirrors nginx's 499: the client disconnected
+// before the response was produced. Nothing is on the wire, but the status
+// is visible in metrics.
+const StatusClientClosedRequest = 499
+
+// Server answers prediction requests over one trained System.
+type Server struct {
+	db      *catalog.Database
+	sys     *corepythia.System
+	metrics *Metrics
+}
+
+// New assembles a server over a database and its trained system. A nil
+// metrics hub gets a fresh one (with its own event counters); pass the hub
+// whose Events() you wired into the system's Config.Recorder to surface
+// workload-matching and replay events on /metrics.
+func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics) *Server {
+	if metrics == nil {
+		metrics = NewMetrics(nil)
+	}
+	return &Server{db: db, sys: sys, metrics: metrics}
+}
+
+// Metrics returns the server's metrics hub.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler builds the full HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	versioned := map[string]http.HandlerFunc{
+		"predict": s.handlePredict,
+		"explain": s.handleExplain,
+		"healthz": s.handleHealth,
+	}
+	for name, h := range versioned {
+		mux.HandleFunc("/v1/"+name, s.metrics.instrument(name, h))
+		mux.HandleFunc("/"+name, s.metrics.instrument(name, deprecated(name, h)))
+	}
+	mux.HandleFunc("/metrics", s.metrics.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/stats", s.metrics.instrument("stats", s.handleStats))
+	return mux
+}
+
+// deprecated wraps an unversioned alias: same behaviour, plus RFC 8594
+// deprecation signalling toward the /v1 successor.
+func deprecated(name string, h http.HandlerFunc) http.HandlerFunc {
+	successor := "/v1/" + name
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+type errorEnvelope struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorEnvelope{Error: errorInfo{Code: code, Message: msg}}); err != nil {
+		log.Printf("serve: encoding error response: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+type predictResponse struct {
+	Workload  string     `json:"workload"`
+	Fallback  bool       `json:"fallback"`
+	Pages     []pageJSON `json:"pages"`
+	PageCount int        `json:"page_count"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Plan      string     `json:"plan,omitempty"`
+	Tokens    []string   `json:"tokens,omitempty"`
+}
+
+type pageJSON struct {
+	Object string `json:"object"`
+	Page   uint32 `json:"page"`
+}
+
+// decodeQuery parses and plans the posted QuerySpec, writing the typed
+// error envelope on any failure.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (plan.Query, *plan.Node, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST a QuerySpec JSON document")
+		return plan.Query{}, nil, false
+	}
+	qs, err := spec.Decode(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return plan.Query{}, nil, false
+	}
+	q, err := qs.ToQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return plan.Query{}, nil, false
+	}
+	root, err := plan.NewPlanner(s.db).Plan(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodePlanFailed, err.Error())
+		return plan.Query{}, nil, false
+	}
+	return q, root, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q, root, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	start := time.Now()
+	resp := predictResponse{}
+	if tw := s.sys.Match(q); tw != nil {
+		resp.Workload = tw.Name
+		// Model inference is the slow step; run it off the handler
+		// goroutine so a disconnected client aborts the request instead of
+		// holding it to completion.
+		done := make(chan []storage.PageID, 1)
+		go func() { done <- s.sys.LimitPrefetch(tw.Pred.PredictParallel(root)) }()
+		var pages []storage.PageID
+		select {
+		case pages = <-done:
+		case <-ctx.Done():
+			writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
+			return
+		}
+		for _, p := range pages {
+			name := fmt.Sprint(p.Object)
+			if obj := s.db.Registry.Lookup(p.Object); obj != nil {
+				name = obj.Name
+			}
+			resp.Pages = append(resp.Pages, pageJSON{Object: name, Page: uint32(p.Page)})
+		}
+	} else {
+		resp.Fallback = true
+	}
+	resp.PageCount = len(resp.Pages)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.metrics.observePrediction(resp.PageCount, resp.Fallback)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	_, root, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, StatusClientClosedRequest, CodeClientGone, err.Error())
+		return
+	}
+	writeJSON(w, predictResponse{
+		Plan:   root.Display(),
+		Tokens: serialize.Serialize(root, serialize.DefaultConfig()),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	type workloadInfo struct {
+		Name   string `json:"name"`
+		Models int    `json:"models"`
+		Params int    `json:"params"`
+	}
+	var info []workloadInfo
+	for _, tw := range s.sys.Workloads() {
+		info = append(info, workloadInfo{
+			Name: tw.Name, Models: len(tw.Pred.Models()), Params: tw.Pred.ParamCount(),
+		})
+	}
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"workloads":      info,
+		"uptime_seconds": s.metrics.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}
+
+// statsResponse is the JSON shape of /stats.
+type statsResponse struct {
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Requests       []requestRow      `json:"requests"`
+	Latency        []latencyRow      `json:"latency"`
+	Predictions    uint64            `json:"predictions"`
+	Fallbacks      uint64            `json:"fallbacks"`
+	FallbackRate   float64           `json:"fallback_rate"`
+	PredictedPages uint64            `json:"predicted_pages"`
+	AvgSetSize     float64           `json:"avg_set_size"`
+	Events         map[string]uint64 `json:"events"`
+	BufferHitRatio float64           `json:"buffer_hit_ratio"`
+	OSHitRatio     float64           `json:"oscache_hit_ratio"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	m := s.metrics
+	snap := m.events.Snapshot()
+	resp := statsResponse{
+		UptimeSeconds:  m.Uptime().Seconds(),
+		Requests:       m.snapshotRequests(),
+		Latency:        m.snapshotLatency(),
+		Predictions:    m.predictions.Load(),
+		Fallbacks:      m.fallbacks.Load(),
+		PredictedPages: m.predictedPages.Load(),
+		Events:         snap.Map(),
+		BufferHitRatio: snap.HitRatio(obs.BufferHit, obs.BufferMiss),
+		OSHitRatio:     snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
+	}
+	if resp.Predictions > 0 {
+		resp.FallbackRate = float64(resp.Fallbacks) / float64(resp.Predictions)
+		resp.AvgSetSize = float64(resp.PredictedPages) / float64(resp.Predictions)
+	}
+	writeJSON(w, resp)
+}

@@ -88,7 +88,7 @@ func TestRoundTripThroughJSON(t *testing.T) {
 			}
 			// The round-tripped query plans to the same shape.
 			pl := plan.NewPlanner(g.DB())
-			if pl.Plan(back).Shape() != pl.Plan(q).Shape() {
+			if pl.MustPlan(back).Shape() != pl.MustPlan(q).Shape() {
 				t.Fatalf("%s: round trip changed plan shape", tpl)
 			}
 		}

@@ -7,6 +7,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"github.com/pythia-db/pythia/internal/catalog"
 	"github.com/pythia-db/pythia/internal/exec"
 	"github.com/pythia-db/pythia/internal/plan"
@@ -37,12 +39,18 @@ type Workload struct {
 
 // Build plans and executes every query, producing a workload. This is the
 // paper's trace-collection phase: "we execute each of the 1000 queries from
-// each workload on Postgres and generate the trace sequence".
-func Build(name string, db *catalog.Database, queries []plan.Query) *Workload {
+// each workload on Postgres and generate the trace sequence". A planning
+// error (unknown relation, impossible hint) aborts the build and is
+// returned; MustBuild covers generator-produced queries that are valid by
+// construction.
+func Build(name string, db *catalog.Database, queries []plan.Query) (*Workload, error) {
 	pl := plan.NewPlanner(db)
 	w := &Workload{Name: name, DB: db}
 	for _, q := range queries {
-		root := pl.Plan(q)
+		root, err := pl.Plan(q)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", name, err)
+		}
 		res := exec.Run(root)
 		tr := trace.Process(res.Requests)
 		w.Instances = append(w.Instances, &Instance{
@@ -53,6 +61,16 @@ func Build(name string, db *catalog.Database, queries []plan.Query) *Workload {
 			Pages:    tr.Pages(),
 			Rows:     res.Rows,
 		})
+	}
+	return w, nil
+}
+
+// MustBuild is Build for query sets known valid by construction (the DSB
+// and IMDB template generators); it panics on a planning error.
+func MustBuild(name string, db *catalog.Database, queries []plan.Query) *Workload {
+	w, err := Build(name, db, queries)
+	if err != nil {
+		panic(err.Error())
 	}
 	return w
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/pythia-db/pythia/internal/imdb"
 	"github.com/pythia-db/pythia/internal/metrics"
 	"github.com/pythia-db/pythia/internal/model"
+	"github.com/pythia-db/pythia/internal/obs"
 	core "github.com/pythia-db/pythia/internal/pythia"
 	"github.com/pythia-db/pythia/internal/scheduler"
 	"github.com/pythia-db/pythia/internal/storage"
@@ -75,8 +76,32 @@ type (
 	ModelConfig = model.Config
 )
 
-// New assembles a Pythia system over db.
+// New assembles a Pythia system over db. It panics on an invalid Config;
+// validate with Config.Normalize first to handle errors gracefully.
 func New(db *Database, cfg Config) *System { return core.New(db, cfg) }
+
+// Observability: every cache, disk, and prefetcher occurrence in a replay
+// (and every workload-matching decision of a System) can be streamed to a
+// Recorder — per-level hit/miss/IO accounting while a run executes, not
+// only as end-of-run aggregates. Set Config.Recorder to enable; nil costs
+// one nil-check per event site.
+type (
+	// Recorder receives typed observability events.
+	Recorder = obs.Recorder
+	// ObsEvent is one typed occurrence (kind, query, page, virtual time).
+	ObsEvent = obs.Event
+	// ObsKind enumerates event types (see the obs package constants).
+	ObsKind = obs.Kind
+	// ObsCounters is the allocation-free counting Recorder for
+	// single-threaded replays.
+	ObsCounters = obs.Counters
+	// ObsEventLog retains the full event stream for trace dumps.
+	ObsEventLog = obs.EventLog
+)
+
+// NewEventLog returns an event log retaining at most limit events
+// (limit <= 0 = unbounded).
+func NewEventLog(limit int) *ObsEventLog { return obs.NewEventLog(limit) }
 
 // DefaultConfig returns the standard system configuration (Clock buffer,
 // readahead window 1024, limited prefetching at 75% of the buffer).
