@@ -19,19 +19,22 @@ import (
 	"time"
 
 	"github.com/pythia-db/pythia"
+	"github.com/pythia-db/pythia/internal/fault"
 )
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		fast    = flag.Bool("fast", false, "run at CI scale instead of the default scale")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Int("scale", 0, "override DSB scale factor")
-		perTpl  = flag.Int("n", 0, "override query instances per DSB template")
-		imdbN   = flag.Int("imdb-n", 0, "override IMDB template-1a instances")
-		seed    = flag.Uint64("seed", 0, "override random seed")
-		threads = flag.Int("threads", 0, "nn kernel worker shards per model (0 = NumCPU or PYTHIA_THREADS, 1 = serial; results are identical for any value)")
-		outPath = flag.String("o", "", "also append output to this file")
+		expList   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		fast      = flag.Bool("fast", false, "run at CI scale instead of the default scale")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		scale     = flag.Int("scale", 0, "override DSB scale factor")
+		perTpl    = flag.Int("n", 0, "override query instances per DSB template")
+		imdbN     = flag.Int("imdb-n", 0, "override IMDB template-1a instances")
+		seed      = flag.Uint64("seed", 0, "override random seed")
+		threads   = flag.Int("threads", 0, "nn kernel worker shards per model (0 = NumCPU or PYTHIA_THREADS, 1 = serial; results are identical for any value)")
+		outPath   = flag.String("o", "", "also append output to this file")
+		faultPlan = flag.String("fault-plan", "", "deterministic fault-injection plan for every replay, e.g. prefetch=0.05,exec=0.01 (empty = none; ext-chaos sweeps its own plans)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 	)
 	flag.Parse()
 
@@ -59,6 +62,13 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Model.Threads = *threads
+	plan, err := fault.ParsePlan(*faultPlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-experiments:", err)
+		os.Exit(1)
+	}
+	cfg.FaultPlan = plan
+	cfg.FaultSeed = *faultSeed
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -77,8 +87,8 @@ func main() {
 	}
 
 	suite := pythia.NewExperiments(cfg)
-	fmt.Fprintf(out, "pythia-experiments: scale=%d instances/template=%d imdb=%d seed=%d\n\n",
-		cfg.Scale, cfg.PerTemplate, cfg.IMDBInstances, cfg.Seed)
+	fmt.Fprintf(out, "pythia-experiments: scale=%d instances/template=%d imdb=%d seed=%d fault=%s\n\n",
+		cfg.Scale, cfg.PerTemplate, cfg.IMDBInstances, cfg.Seed, cfg.FaultPlan)
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if id == "" {

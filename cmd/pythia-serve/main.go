@@ -21,13 +21,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/fault"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
 	"github.com/pythia-db/pythia/internal/serve"
 )
@@ -40,15 +45,34 @@ func main() {
 		n         = flag.Int("n", 60, "training instances per template")
 		seed      = flag.Uint64("seed", 7, "seed")
 		threads   = flag.Int("threads", 0, "nn kernel worker shards per model (0 = NumCPU or PYTHIA_THREADS, 1 = serial; results are identical for any value)")
+
+		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request inference budget (negative disables)")
+		maxInflight   = flag.Int("max-inflight", 64, "concurrent model requests before load shedding (negative disables)")
+		maxBody       = flag.Int64("max-body", 1<<20, "request body cap in bytes (negative disables)")
+		brkThreshold  = flag.Int("breaker-threshold", 5, "consecutive model errors that trip the circuit breaker (negative disables)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before half-opening")
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
+		faultPlan     = flag.String("fault-plan", "", "fault-injection plan for chaos drills, e.g. serve=0.2 (empty = none)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 	)
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faultPlan)
+	if err != nil {
+		log.Fatalf("pythia-serve: %v", err)
+	}
+	var inj *fault.Injector
+	if !plan.IsZero() {
+		inj = fault.New(plan, *faultSeed)
+		log.Printf("fault injection armed: %s (seed %d)", plan, *faultSeed)
+	}
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
 	metrics := serve.NewMetrics(nil)
 	cfg := corepythia.DefaultConfig()
 	cfg.Predictor.Model.Threads = *threads
 	cfg.Recorder = metrics.Events()
-	cfg, err := cfg.Normalize()
+	cfg, err = cfg.Normalize()
 	if err != nil {
 		log.Fatalf("pythia-serve: invalid config: %v", err)
 	}
@@ -65,7 +89,38 @@ func main() {
 		log.Printf("trained %s in %s", tpl, time.Since(start).Round(time.Second))
 	}
 
-	srv := serve.New(gen.DB(), sys, metrics)
-	log.Printf("pythia-serve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	srv := serve.New(gen.DB(), sys, metrics, serve.Options{
+		RequestTimeout:   *reqTimeout,
+		MaxInFlight:      *maxInflight,
+		MaxBodyBytes:     *maxBody,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Fault:            inj,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: on SIGINT/SIGTERM flip healthz to draining (so load
+	// balancers stop routing here), then let in-flight requests finish under
+	// the grace deadline before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pythia-serve listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		srv.SetDraining(true)
+		log.Printf("signal received; draining for up to %s", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Print("pythia-serve stopped")
+	}
 }

@@ -56,7 +56,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f", "fig12g", "fig12h",
 		"fig13a", "fig13b", "fig13c", "fig13d",
-		"ext-drift", "ext-serialization", "ext-scheduler",
+		"ext-drift", "ext-serialization", "ext-scheduler", "ext-chaos",
 	}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Registry), len(want))
@@ -308,5 +308,35 @@ func TestExtensionsRun(t *testing.T) {
 		if v := a.Get(single, "f1"); v < 0 || v > 1 {
 			t.Fatalf("%s F1 out of range:\n%s", single, a)
 		}
+	}
+}
+
+func TestExtChaosDegradesGracefully(t *testing.T) {
+	s := testSuite(t)
+	tab := s.ExtChaos()
+
+	rates := []string{"0%", "1%", "5%", "20%"}
+	var speedups []float64
+	for _, r := range rates {
+		v := tab.Get(r, "speedup")
+		if v < 0.97 {
+			t.Fatalf("rate %s fell below the no-prefetch baseline (%.3f):\n%s", r, v, tab)
+		}
+		speedups = append(speedups, v)
+	}
+	// Degradation is monotone toward the baseline, within replay noise.
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] > speedups[i-1]*1.10 {
+			t.Fatalf("speedup rose with the fault rate (%s: %.3f -> %s: %.3f):\n%s",
+				rates[i-1], speedups[i-1], rates[i], speedups[i], tab)
+		}
+	}
+	if speedups[len(speedups)-1] >= speedups[0] {
+		t.Fatalf("20%% faults cost nothing (%.3f vs %.3f at 0%%):\n%s",
+			speedups[len(speedups)-1], speedups[0], tab)
+	}
+	// The degradation ladder was actually exercised at the top rate.
+	if tab.Get("20%", "retries") == 0 || tab.Get("20%", "abandons") == 0 {
+		t.Fatalf("no retries/abandons at 20%% faults:\n%s", tab)
 	}
 }

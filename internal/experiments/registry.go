@@ -36,6 +36,7 @@ var Registry = map[string]Runner{
 	"ext-drift":         (*Suite).ExtDrift,
 	"ext-serialization": (*Suite).ExtSerializationAblation,
 	"ext-scheduler":     (*Suite).ExtScheduler,
+	"ext-chaos":         (*Suite).ExtChaos,
 }
 
 // Names returns all experiment ids in stable order.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/imdb"
 	"github.com/pythia-db/pythia/internal/model"
 	"github.com/pythia-db/pythia/internal/predictor"
@@ -39,6 +40,13 @@ type Config struct {
 	BufferPages int
 	// Seed drives everything.
 	Seed uint64
+	// FaultPlan, when non-zero, runs every experiment's replays under
+	// deterministic fault injection (the ext-chaos experiment sweeps its
+	// own plans regardless). See internal/fault.
+	FaultPlan fault.Plan
+	// FaultSeed seeds the fault injector (independent of Seed so fault
+	// timelines can be varied without regenerating workloads).
+	FaultSeed uint64
 }
 
 // DefaultConfig is the reference configuration for the harness.
@@ -203,7 +211,7 @@ func (s *Suite) DSBSystem(templates ...string) *pythia.System {
 	if s.dsbSys == nil {
 		cfg := pythia.DefaultConfig()
 		cfg.Predictor = s.predictorOptions()
-		cfg.Replay = replay.Config{BufferPages: bufPages}
+		cfg.Replay = replay.Config{BufferPages: bufPages, Fault: s.faultInjector()}
 		s.dsbSys = pythia.New(s.gen.DB(), cfg)
 	}
 	sys := s.dsbSys
@@ -231,7 +239,10 @@ func (s *Suite) IMDBSystem() *pythia.System {
 		cfg.Predictor = s.predictorOptions()
 		// The IMDB buffer is sized so the big instances' predictions
 		// overflow it — the limited-prefetching regime (§5.1).
-		cfg.Replay = replay.Config{BufferPages: s.imdbGen.DB().Registry.TotalPages() / 12}
+		cfg.Replay = replay.Config{
+			BufferPages: s.imdbGen.DB().Registry.TotalPages() / 12,
+			Fault:       s.faultInjector(),
+		}
 		s.imdbSys = pythia.New(s.imdbGen.DB(), cfg)
 	}
 	sys := s.imdbSys
@@ -242,6 +253,15 @@ func (s *Suite) IMDBSystem() *pythia.System {
 		sys.Train("imdb1a", sp.train)
 	}
 	return sys
+}
+
+// faultInjector builds the config-level injector, or nil when no plan is
+// set.
+func (s *Suite) faultInjector() *fault.Injector {
+	if s.cfg.FaultPlan.IsZero() {
+		return nil
+	}
+	return fault.New(s.cfg.FaultPlan, s.cfg.FaultSeed)
 }
 
 // speedupSample returns up to SpeedupQueries test instances for a workload.

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/sim"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var i *Injector
+	for s := Site(0); s < SiteCount; s++ {
+		if i.Fire(s, 0) {
+			t.Fatalf("nil injector fired at %v", s)
+		}
+	}
+	if !i.Plan().IsZero() || i.Seed() != 0 || i.Clone() != nil {
+		t.Fatal("nil injector accessors not zero")
+	}
+}
+
+func TestZeroPlanDrawsNothing(t *testing.T) {
+	i := New(Plan{}, 42)
+	for n := 0; n < 1000; n++ {
+		for s := Site(0); s < SiteCount; s++ {
+			if i.Fire(s, sim.Time(n)) {
+				t.Fatalf("zero plan fired at %v", s)
+			}
+		}
+	}
+	// The streams never advanced: they are bit-identical to a fresh clone's.
+	j := New(Plan{}, 42)
+	for s := range i.rngs {
+		if i.rngs[s].Uint64() != j.rngs[s].Uint64() {
+			t.Fatal("zero-rate Fire advanced a stream")
+		}
+	}
+}
+
+func TestFireDeterministicAndRateShaped(t *testing.T) {
+	plan := Plan{ExecReadRate: 0.3, PrefetchReadRate: 0.05}
+	a := New(plan, 7)
+	b := New(plan, 7)
+	fires := 0
+	const n = 20000
+	for k := 0; k < n; k++ {
+		fa := a.Fire(ExecRead, sim.Time(k))
+		if fb := b.Fire(ExecRead, sim.Time(k)); fa != fb {
+			t.Fatalf("same plan+seed diverged at draw %d", k)
+		}
+		if fa {
+			fires++
+		}
+	}
+	got := float64(fires) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("exec fire rate %.3f, want ≈0.30", got)
+	}
+	// Reset rewinds to the identical sequence.
+	a.Reset()
+	c := New(plan, 7)
+	for k := 0; k < 100; k++ {
+		if a.Fire(ExecRead, 0) != c.Fire(ExecRead, 0) {
+			t.Fatal("Reset did not rewind the stream")
+		}
+	}
+}
+
+func TestSitesAreIndependentStreams(t *testing.T) {
+	// Same seed, but plan B additionally draws heavily at PrefetchRead;
+	// the ExecRead decision sequence must be unchanged.
+	a := New(Plan{ExecReadRate: 0.5}, 11)
+	b := New(Plan{ExecReadRate: 0.5, PrefetchReadRate: 0.9}, 11)
+	for k := 0; k < 5000; k++ {
+		b.Fire(PrefetchRead, sim.Time(k)) // extra draws on another site
+		if a.Fire(ExecRead, sim.Time(k)) != b.Fire(ExecRead, sim.Time(k)) {
+			t.Fatalf("prefetch draws perturbed exec stream at %d", k)
+		}
+	}
+}
+
+func TestWindowsOverrideBaseRate(t *testing.T) {
+	plan := Plan{
+		ExecReadRate: 0,
+		Windows: []Window{
+			{Site: ExecRead, From: sim.Time(100), To: sim.Time(200), Rate: 1},
+		},
+	}
+	i := New(plan, 3)
+	if i.Fire(ExecRead, sim.Time(50)) {
+		t.Fatal("fired outside window")
+	}
+	if !i.Fire(ExecRead, sim.Time(150)) {
+		t.Fatal("did not fire inside certain window")
+	}
+	if i.Fire(ExecRead, sim.Time(200)) {
+		t.Fatal("fired at window end (To is exclusive)")
+	}
+	// Later windows shadow earlier ones.
+	shadow := Plan{Windows: []Window{
+		{Site: ExecRead, From: 0, To: sim.Time(1000), Rate: 1},
+		{Site: ExecRead, From: sim.Time(400), To: sim.Time(600), Rate: 0},
+	}}
+	j := New(shadow, 3)
+	if !j.Fire(ExecRead, sim.Time(10)) || j.Fire(ExecRead, sim.Time(500)) {
+		t.Fatal("window shadowing wrong")
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	i := New(Plan{LatencySpikeRate: 1, LatencyMultiplier: 4}, 9)
+	if got := i.ReadLatency(0, time.Millisecond); got != 4*time.Millisecond {
+		t.Fatalf("spiked latency %v, want 4ms", got)
+	}
+	quiet := New(Plan{}, 9)
+	if got := quiet.ReadLatency(0, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("unspiked latency %v, want 1ms", got)
+	}
+	// Default multiplier fills to 8×.
+	d := New(Plan{LatencySpikeRate: 1}, 9)
+	if got := d.ReadLatency(0, time.Millisecond); got != 8*time.Millisecond {
+		t.Fatalf("default multiplier latency %v, want 8ms", got)
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	p, err := ParsePlan("exec=0.01,prefetch=0.05, latency=0.02 ,infer=0.1,serve=0.2,mult=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		ExecReadRate: 0.01, PrefetchReadRate: 0.05, LatencySpikeRate: 0.02,
+		InferenceRate: 0.1, ServeRate: 0.2, LatencyMultiplier: 16,
+	}
+	if p.ExecReadRate != want.ExecReadRate || p.PrefetchReadRate != want.PrefetchReadRate ||
+		p.LatencySpikeRate != want.LatencySpikeRate || p.InferenceRate != want.InferenceRate ||
+		p.ServeRate != want.ServeRate || p.LatencyMultiplier != want.LatencyMultiplier {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if empty, err := ParsePlan("  "); err != nil || !empty.IsZero() {
+		t.Fatalf("empty plan: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"exec", "exec=x", "bogus=0.1", "exec=1.5", "mult=-1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) did not error", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Plan{ExecReadRate: 0.5, Windows: []Window{{Site: Serve, From: 0, To: 10, Rate: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Plan{
+		{ExecReadRate: -0.1},
+		{ServeRate: 1.1},
+		{LatencyMultiplier: -2},
+		{Windows: []Window{{Site: SiteCount, From: 0, To: 10, Rate: 0.5}}},
+		{Windows: []Window{{Site: ExecRead, From: 10, To: 10, Rate: 0.5}}},
+		{Windows: []Window{{Site: ExecRead, From: 0, To: 10, Rate: 2}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("plan %+v validated", bad)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if s := (Plan{}).String(); s != "none" {
+		t.Fatalf("zero plan renders %q", s)
+	}
+	p := Plan{ExecReadRate: 0.01, LatencyMultiplier: 8}
+	if s := p.String(); s != "exec=0.01,mult=8" {
+		t.Fatalf("plan renders %q", s)
+	}
+}

@@ -89,6 +89,25 @@ const (
 	// window parameter exists to create.
 	WindowStall
 
+	// --- fault injection and degradation (internal/fault, internal/replay) ---
+
+	// DiskReadFailed: one device read attempt (foreground or prefetch)
+	// failed transiently.
+	DiskReadFailed
+	// PrefetchRetried: the prefetcher scheduled a backoff retry for a
+	// failed prefetch read.
+	PrefetchRetried
+	// PrefetchAbandoned: the prefetcher exhausted its retries and abandoned
+	// the page; the executor will read it synchronously.
+	PrefetchAbandoned
+	// FallbackSyncRead: the executor served a page the prefetcher had
+	// abandoned — the degradation path that converges to the no-prefetch
+	// baseline.
+	FallbackSyncRead
+	// InferenceDeadlineMiss: model inference exceeded its virtual-time
+	// budget and the query degraded to the no-prefetch path.
+	InferenceDeadlineMiss
+
 	// --- system (internal/pythia, internal/scheduler) ---
 
 	// WorkloadMatched: an incoming query matched a trained workload and
@@ -104,35 +123,54 @@ const (
 	// batch order.
 	SchedulerScheduled
 
+	// --- serving tier (internal/serve) ---
+
+	// BreakerOpen: the serving circuit breaker tripped; predictions answer
+	// from the fallback path.
+	BreakerOpen
+	// BreakerHalfOpen: the breaker's cooldown elapsed; trial requests probe
+	// the model path.
+	BreakerHalfOpen
+	// BreakerClosed: a trial request succeeded; the model path is restored.
+	BreakerClosed
+
 	// KindCount is the number of event kinds; counter arrays are sized by
 	// it. It must remain last.
 	KindCount
 )
 
 var kindNames = [KindCount]string{
-	BufferHit:          "buffer_hit",
-	BufferMiss:         "buffer_miss",
-	BufferInsert:       "buffer_insert",
-	BufferEvict:        "buffer_evict",
-	BufferInsertFailed: "buffer_insert_failed",
-	PrefetchedIn:       "prefetched_in",
-	PrefetchHit:        "prefetch_hit",
-	PrefetchWasted:     "prefetch_wasted",
-	OSCacheHit:         "oscache_hit",
-	OSCacheMiss:        "oscache_miss",
-	OSReadaheadPage:    "os_readahead_page",
-	OSCacheEvict:       "oscache_evict",
-	QueryStart:         "query_start",
-	QueryFinish:        "query_finish",
-	DiskRead:           "disk_read",
-	PrefetchIssued:     "prefetch_issued",
-	PrefetchPinned:     "prefetch_pinned",
-	PrefetchSkipped:    "prefetch_skipped",
-	WindowStall:        "window_stall",
-	WorkloadMatched:    "workload_matched",
-	WorkloadFallback:   "workload_fallback",
-	PrefetchLimited:    "prefetch_limited",
-	SchedulerScheduled: "scheduler_scheduled",
+	BufferHit:             "buffer_hit",
+	BufferMiss:            "buffer_miss",
+	BufferInsert:          "buffer_insert",
+	BufferEvict:           "buffer_evict",
+	BufferInsertFailed:    "buffer_insert_failed",
+	PrefetchedIn:          "prefetched_in",
+	PrefetchHit:           "prefetch_hit",
+	PrefetchWasted:        "prefetch_wasted",
+	OSCacheHit:            "oscache_hit",
+	OSCacheMiss:           "oscache_miss",
+	OSReadaheadPage:       "os_readahead_page",
+	OSCacheEvict:          "oscache_evict",
+	QueryStart:            "query_start",
+	QueryFinish:           "query_finish",
+	DiskRead:              "disk_read",
+	PrefetchIssued:        "prefetch_issued",
+	PrefetchPinned:        "prefetch_pinned",
+	PrefetchSkipped:       "prefetch_skipped",
+	WindowStall:           "window_stall",
+	DiskReadFailed:        "disk_read_failed",
+	PrefetchRetried:       "prefetch_retried",
+	PrefetchAbandoned:     "prefetch_abandoned",
+	FallbackSyncRead:      "fallback_sync_read",
+	InferenceDeadlineMiss: "inference_deadline_miss",
+	WorkloadMatched:       "workload_matched",
+	WorkloadFallback:      "workload_fallback",
+	PrefetchLimited:       "prefetch_limited",
+	SchedulerScheduled:    "scheduler_scheduled",
+	BreakerOpen:           "breaker_open",
+	BreakerHalfOpen:       "breaker_half_open",
+	BreakerClosed:         "breaker_closed",
 }
 
 // String returns the kind's snake_case name (stable: it is the label

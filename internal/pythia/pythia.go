@@ -12,6 +12,7 @@ import (
 	"strconv"
 
 	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	"github.com/pythia-db/pythia/internal/predictor"
@@ -40,6 +41,13 @@ type Config struct {
 	// into every replay this system runs, so live per-level cache counters
 	// flow to it. Nil disables observability at zero cost.
 	Recorder obs.Recorder
+	// InferenceDeadline is the virtual-time budget for model inference.
+	// When the replay cost model's PredictLatency exceeds it, every query
+	// degrades to the default (no-prefetch) path — prefetching is advisory,
+	// so a late prediction is a skipped prediction, never a stall. Zero
+	// means no deadline. The Replay.Fault injector's Inference site models
+	// sporadic (rather than systematic) deadline misses.
+	InferenceDeadline sim.Duration
 }
 
 // Normalize validates the configuration and fills unset (zero) fields with
@@ -49,6 +57,9 @@ type Config struct {
 func (c Config) Normalize() (Config, error) {
 	if c.Window < 0 {
 		return c, fmt.Errorf("pythia: negative Window %d", c.Window)
+	}
+	if c.InferenceDeadline < 0 {
+		return c, fmt.Errorf("pythia: negative InferenceDeadline %v", c.InferenceDeadline)
 	}
 	if c.Window == 0 {
 		c.Window = 1024
@@ -170,6 +181,15 @@ func (s *System) WithWindow(w int) *System {
 	return &clone
 }
 
+// WithFault returns a copy of the system whose replays run under the given
+// fault injector (chaos sweeps retrain nothing). Pass a fresh injector per
+// run for bitwise-reproducible timelines.
+func (s *System) WithFault(inj *fault.Injector) *System {
+	clone := *s
+	clone.cfg.Replay.Fault = inj
+	return &clone
+}
+
 // Match decides which trained workload (if any) a query belongs to: an
 // exact template match first, then a relation-set Jaccard ≥ 0.5 fallback for
 // untagged queries. Nil means Pythia does not engage and the query runs on
@@ -247,14 +267,22 @@ type PrefetchFunc func(*workload.Instance) []storage.PageID
 // sets from the strategy are buffer-bounded exactly like Pythia's own.
 func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strategy PrefetchFunc) *replay.RunResult {
 	specs := make([]replay.QuerySpec, len(insts))
+	var deadlineMisses uint64
 	for i, inst := range insts {
-		var pf []storage.PageID
-		if strategy != nil {
-			pf = s.LimitPrefetch(strategy(inst))
-		}
 		var arr sim.Duration
 		if arrivals != nil {
 			arr = arrivals[i]
+		}
+		var pf []storage.PageID
+		if strategy != nil {
+			if s.inferenceMissed(sim.Time(arr)) {
+				// A late (or faulted) inference is a skipped one: the query
+				// runs on the default path instead of waiting.
+				deadlineMisses++
+				s.record(obs.InferenceDeadlineMiss)
+			} else {
+				pf = s.LimitPrefetch(strategy(inst))
+			}
 		}
 		specs[i] = replay.QuerySpec{
 			ID:       specID(inst, i),
@@ -271,7 +299,20 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 		// per-level cache counters flow to one place.
 		cfg.Recorder = s.cfg.Recorder
 	}
-	return replay.Run(s.DB.Registry, cfg, specs)
+	res := replay.Run(s.DB.Registry, cfg, specs)
+	res.InferenceDeadlineMisses = deadlineMisses
+	return res
+}
+
+// inferenceMissed decides whether one query's model inference blew its
+// budget: systematically (the cost model's PredictLatency exceeds the
+// configured deadline) or sporadically (the fault injector's Inference site
+// fires).
+func (s *System) inferenceMissed(at sim.Time) bool {
+	if s.cfg.InferenceDeadline > 0 && s.cfg.Replay.Cost.PredictLatency > s.cfg.InferenceDeadline {
+		return true
+	}
+	return s.cfg.Replay.Fault.Fire(fault.Inference, at)
 }
 
 func specID(inst *workload.Instance, i int) string {

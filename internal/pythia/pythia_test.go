@@ -5,6 +5,7 @@ import (
 
 	"github.com/pythia-db/pythia/internal/baselines"
 	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/metrics"
 	"github.com/pythia-db/pythia/internal/model"
 	"github.com/pythia-db/pythia/internal/plan"
@@ -156,5 +157,39 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if len(s.Workloads()) != 0 {
 		t.Fatal("fresh system has workloads")
+	}
+}
+
+func TestInferenceDeadlineDegradesToDefault(t *testing.T) {
+	s, w := testSystem(t)
+	train, test := w.Split(0.1, 3)
+	s.Train("t91", train)
+	insts := test[:4]
+
+	// PredictLatency over the deadline: every prefetching query degrades.
+	late := *s
+	late.cfg.InferenceDeadline = s.cfg.Replay.Cost.PredictLatency / 2
+	res := late.Run(insts, nil, late.Prefetch)
+	if got := res.InferenceDeadlineMisses; got != uint64(len(insts)) {
+		t.Fatalf("deadline misses %d, want %d", got, len(insts))
+	}
+	dflt := s.Run(insts, nil, nil)
+	if res.TotalElapsed() != dflt.TotalElapsed() {
+		t.Fatal("deadline-degraded run is not timing-identical to the default path")
+	}
+
+	// No deadline, no faults: zero misses.
+	if r := s.Run(insts, nil, s.Prefetch); r.InferenceDeadlineMisses != 0 {
+		t.Fatalf("clean run recorded %d deadline misses", r.InferenceDeadlineMisses)
+	}
+
+	// A certain inference fault degrades every query too, and the baseline
+	// (nil strategy) never draws the inference site.
+	chaotic := s.WithFault(fault.New(fault.Plan{InferenceRate: 1}, 3))
+	if r := chaotic.Run(insts, nil, chaotic.Prefetch); r.InferenceDeadlineMisses != uint64(len(insts)) {
+		t.Fatalf("faulted run missed %d inferences, want %d", r.InferenceDeadlineMisses, len(insts))
+	}
+	if r := chaotic.Run(insts, nil, nil); r.InferenceDeadlineMisses != 0 {
+		t.Fatal("default-path run drew inference faults")
 	}
 }

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
@@ -25,6 +26,11 @@ type prefetcher struct {
 	pinned   []storage.PageID // FIFO of pages pinned on the query's behalf
 	started  bool             // model inference finished; prefetching may begin
 	done     bool
+
+	// consecAbandons counts abandoned pages since the last successful
+	// arrival; reaching Config.MaxAbandons disables prefetching for the
+	// query (graceful degradation to the no-prefetch path).
+	consecAbandons int
 }
 
 func newPrefetcher(r *runner, pages []storage.PageID, window int) *prefetcher {
@@ -78,6 +84,16 @@ func (p *prefetcher) issue(page storage.PageID) {
 		return
 	}
 	p.r.record(obs.PrefetchIssued, page)
+	p.inflight++
+	p.attempt(page, 0)
+}
+
+// attempt runs one read attempt for an in-flight prefetch. On a transient
+// device-read fault it schedules a backoff retry; when retries are exhausted
+// it abandons the page to the executor's synchronous-read fallback. With no
+// injector configured the body reduces exactly to the original fault-free
+// read path.
+func (p *prefetcher) attempt(page storage.PageID, attempt int) {
 	now := p.r.eng.Now()
 	hit, readahead := p.r.osc.Read(p.stream, page, p.r.objPages(page))
 	for range readahead {
@@ -87,10 +103,65 @@ func (p *prefetcher) issue(page storage.PageID) {
 	if hit {
 		arrive = now.Add(p.r.cfg.Cost.OSCacheCopy)
 	} else {
-		arrive = p.r.disk.Read(now)
+		inj := p.r.cfg.Fault
+		lat := p.r.cfg.Cost.DiskRead
+		if inj != nil {
+			lat = inj.ReadLatency(now, lat)
+		}
+		done := p.r.disk.ReadWith(now, lat)
+		if inj.Fire(fault.PrefetchRead, now) {
+			// The failed read still occupied a disk channel, but the page
+			// never arrived: undo the OS cache's speculative insert so the
+			// retry (or the executor's fallback read) re-pays the miss.
+			p.r.osc.Drop(page)
+			p.r.result.ReadFailures++
+			p.r.record(obs.DiskReadFailed, page)
+			if attempt >= p.r.cfg.MaxRetries {
+				p.abandon(page)
+				return
+			}
+			p.r.result.PrefetchRetries++
+			p.r.record(obs.PrefetchRetried, page)
+			p.r.eng.At(done.Add(p.r.cfg.backoff(attempt)), func() {
+				p.retry(page, attempt+1)
+			})
+			return
+		}
+		arrive = done
 	}
-	p.inflight++
 	p.r.eng.At(arrive, func() { p.arrived(page) })
+}
+
+// retry re-runs a failed prefetch attempt after its backoff delay.
+func (p *prefetcher) retry(page storage.PageID, attempt int) {
+	p.r.enter()
+	if p.done {
+		p.inflight--
+		return
+	}
+	p.attempt(page, attempt)
+}
+
+// abandon gives up on one page after exhausting retries: the executor will
+// read it synchronously when it gets there (FallbackSyncRead). Too many
+// consecutive abandons disable prefetching for the rest of the query — the
+// bottom rung of the degradation ladder, converging to the no-prefetch
+// baseline instead of burning device channels on a failing path.
+func (p *prefetcher) abandon(page storage.PageID) {
+	p.inflight--
+	p.consecAbandons++
+	p.r.result.PrefetchAbandons++
+	p.r.record(obs.PrefetchAbandoned, page)
+	if p.r.abandoned == nil {
+		p.r.abandoned = make(map[storage.PageID]bool)
+	}
+	p.r.abandoned[page] = true
+	if p.r.cfg.MaxAbandons > 0 && p.consecAbandons >= p.r.cfg.MaxAbandons && !p.done {
+		p.r.result.PrefetchGaveUp = true
+		p.shutdown()
+		return
+	}
+	p.pump()
 }
 
 // arrived lands a prefetched page in the buffer pool and pins it.
@@ -100,6 +171,7 @@ func (p *prefetcher) arrived(page storage.PageID) {
 	if p.done {
 		return
 	}
+	p.consecAbandons = 0
 	if p.r.pool.Insert(page, true) {
 		p.r.pool.Pin(page)
 		p.pinned = append(p.pinned, page)

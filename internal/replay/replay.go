@@ -22,8 +22,10 @@ package replay
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/pythia-db/pythia/internal/buffer"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
@@ -70,6 +72,29 @@ type Config struct {
 	// per-object counter snapshots on RunResult. Nil (the default) costs the
 	// hot path one nil-check per event site and nothing else.
 	Recorder obs.Recorder
+	// Fault, when non-nil, injects deterministic transient faults into the
+	// run's device reads (see internal/fault). Faults only ever change
+	// timing and cache state, never which pages a query reads or how many
+	// tuples it processes: the executor retries failed foreground reads
+	// until the device delivers, and abandoned prefetches degrade to
+	// synchronous executor reads. Build a fresh injector (same plan + seed)
+	// per run for bitwise-reproducible timelines.
+	Fault *fault.Injector
+	// MaxRetries bounds the backoff retries after a failed device read
+	// (default 3). The prefetcher abandons a page once they are exhausted;
+	// the executor's final attempt always succeeds — the fault model is
+	// transient, and a query must complete regardless of fault rate.
+	MaxRetries int
+	// RetryBackoff is the virtual-time delay before the first retry of a
+	// failed read; it doubles per subsequent attempt, capped at 8× (default
+	// 250µs).
+	RetryBackoff sim.Duration
+	// MaxAbandons is the number of consecutive abandoned prefetch pages
+	// after which a query's prefetcher gives up entirely — the last rung of
+	// the degradation ladder, bounding wasted device traffic so a faulty
+	// run converges to the no-prefetch baseline instead of undercutting it
+	// (default 8).
+	MaxAbandons int
 }
 
 // Normalize validates the configuration and fills unset (zero) fields with
@@ -88,6 +113,17 @@ func (c Config) Normalize() (Config, error) {
 		return c, fmt.Errorf("replay: negative PrefetchWorkers %d", c.PrefetchWorkers)
 	case c.DefaultWindow < 0:
 		return c, fmt.Errorf("replay: negative DefaultWindow %d", c.DefaultWindow)
+	case c.MaxRetries < 0:
+		return c, fmt.Errorf("replay: negative MaxRetries %d", c.MaxRetries)
+	case c.RetryBackoff < 0:
+		return c, fmt.Errorf("replay: negative RetryBackoff %v", c.RetryBackoff)
+	case c.MaxAbandons < 0:
+		return c, fmt.Errorf("replay: negative MaxAbandons %d", c.MaxAbandons)
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Plan().Validate(); err != nil {
+			return c, err
+		}
 	}
 	if c.Cost.DiskRead < 0 || c.Cost.SeqDiskRead < 0 || c.Cost.BufferHit < 0 ||
 		c.Cost.OSCacheCopy < 0 || c.Cost.PredictLatency < 0 {
@@ -111,7 +147,29 @@ func (c Config) Normalize() (Config, error) {
 	if c.DefaultWindow == 0 {
 		c.DefaultWindow = 1024
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 250 * time.Microsecond
+	}
+	if c.MaxAbandons == 0 {
+		c.MaxAbandons = 8
+	}
 	return c, nil
+}
+
+// backoff returns the virtual-time delay before retry number attempt
+// (0-based): RetryBackoff doubling per attempt, capped at 8×.
+func (c *Config) backoff(attempt int) sim.Duration {
+	d := c.RetryBackoff
+	for i := 0; i < attempt && d < 8*c.RetryBackoff; i++ {
+		d *= 2
+	}
+	if cap := 8 * c.RetryBackoff; d > cap {
+		d = cap
+	}
+	return d
 }
 
 // QueryResult is one query's timing and counters.
@@ -128,6 +186,12 @@ type QueryResult struct {
 	PrefetchSkip uint64 // prefetches skipped (already buffered / dropped)
 	WindowStalls uint64 // prefetcher pump attempts blocked by a full window
 
+	ReadFailures      uint64 // failed device read attempts (foreground + prefetch)
+	PrefetchRetries   uint64 // backoff retries the prefetcher scheduled
+	PrefetchAbandons  uint64 // prefetch pages abandoned after retry exhaustion
+	FallbackSyncReads uint64 // abandoned pages the executor served synchronously
+	PrefetchGaveUp    bool   // prefetcher hit MaxAbandons and disabled itself
+
 	// Counters is the query's full per-kind event snapshot (buffer, OS
 	// cache, disk, and prefetcher events attributed to this query). It is
 	// nil unless Config.Recorder was set.
@@ -141,6 +205,19 @@ type RunResult struct {
 	OS      oscache.Stats
 	Disk    uint64 // total device reads including readahead and prefetch
 	End     sim.Time
+
+	// ReadFailures, PrefetchRetries, PrefetchAbandons, and
+	// FallbackSyncReads total the per-query degradation counters, so a
+	// chaos sweep reads the whole run's fault response at a glance.
+	ReadFailures      uint64
+	PrefetchRetries   uint64
+	PrefetchAbandons  uint64
+	FallbackSyncReads uint64
+	// InferenceDeadlineMisses counts queries whose model inference blew its
+	// virtual-time budget and degraded to the no-prefetch path. It is
+	// stamped by pythia.System.Run (the replay engine itself never sees
+	// inference).
+	InferenceDeadlineMisses uint64
 
 	// Objects holds per-object event snapshots (which relation/index drew
 	// the hits, misses, and prefetches). It is nil unless Config.Recorder
@@ -246,6 +323,13 @@ func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
 	res.Buffer = pool.Stats()
 	res.OS = osc.Stats()
 	res.Disk = disk.Reads()
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		res.ReadFailures += q.ReadFailures
+		res.PrefetchRetries += q.PrefetchRetries
+		res.PrefetchAbandons += q.PrefetchAbandons
+		res.FallbackSyncReads += q.FallbackSyncReads
+	}
 	if tag != nil {
 		for i := range res.Queries {
 			res.Queries[i].Counters = &tag.perQ[i]
@@ -273,6 +357,11 @@ type runner struct {
 	execStream *oscache.Stream
 	pf         *prefetcher
 	reqIdx     int
+
+	// abandoned holds pages the prefetcher gave up on, so the executor's
+	// synchronous read of them is visible as the degradation fallback. Nil
+	// until the first abandonment, so fault-free runs pay one nil-check.
+	abandoned map[storage.PageID]bool
 }
 
 // enter marks this runner's query as the active event source; every
@@ -336,6 +425,14 @@ func (r *runner) step() {
 		r.result.BufferHits++
 		delay += cost.BufferHit
 	} else {
+		if r.abandoned != nil && r.abandoned[req.Page] {
+			// The prefetcher gave this page up; the executor now pays for
+			// it synchronously — the degradation path that converges to
+			// the no-prefetch baseline.
+			delete(r.abandoned, req.Page)
+			r.result.FallbackSyncReads++
+			r.record(obs.FallbackSyncRead, req.Page)
+		}
 		hit, readahead := r.osc.Read(r.execStream, req.Page, r.objPages(req.Page))
 		// Kernel readahead occupies device channels in the background
 		// without blocking the foreground read; it streams at the
@@ -350,7 +447,7 @@ func (r *runner) step() {
 		} else {
 			r.result.DiskReads++
 			r.record(obs.DiskRead, req.Page)
-			done := r.disk.Read(now)
+			done := r.syncRead(now, req.Page)
 			delay += done.Sub(now) + cost.OSCacheCopy
 		}
 		r.pool.Insert(req.Page, false)
@@ -363,6 +460,30 @@ func (r *runner) step() {
 		r.pf.onExecutorRead(req.Page)
 	}
 	r.eng.Schedule(delay, r.step)
+}
+
+// syncRead performs one foreground device read issued at time at, retrying
+// transient injected failures with bounded backoff. Each failed attempt
+// still occupies a device channel (the device serviced a read that errored).
+// After MaxRetries failures the final attempt succeeds unconditionally: the
+// fault model is transient, and the executor's synchronous path must always
+// deliver the page — faults cost time, never results.
+func (r *runner) syncRead(at sim.Time, page storage.PageID) sim.Time {
+	inj := r.cfg.Fault
+	t := at
+	for attempt := 0; ; attempt++ {
+		lat := r.cfg.Cost.DiskRead
+		if inj != nil {
+			lat = inj.ReadLatency(t, lat)
+		}
+		done := r.disk.ReadWith(t, lat)
+		if inj == nil || attempt >= r.cfg.MaxRetries || !inj.Fire(fault.ExecRead, t) {
+			return done
+		}
+		r.result.ReadFailures++
+		r.record(obs.DiskReadFailed, page)
+		t = done.Add(r.cfg.backoff(attempt))
+	}
 }
 
 func (r *runner) finish() {

@@ -1,7 +1,10 @@
 package scheduler
 
 import (
+	"reflect"
 	"testing"
+
+	"github.com/pythia-db/pythia/internal/obs"
 
 	"github.com/pythia-db/pythia/internal/storage"
 	"github.com/pythia-db/pythia/internal/workload"
@@ -113,5 +116,66 @@ func TestChainOverlapBounds(t *testing.T) {
 	}
 	if ChainOverlap(p, []int{0}) != 0 {
 		t.Fatal("single-entry chain should be 0")
+	}
+}
+
+func TestOrderObservedAllEmptySets(t *testing.T) {
+	// All-empty predicted sets: every pairwise Jaccard is 1 (empty == empty),
+	// so the greedy chain reduces to index order — deterministic, total, and
+	// fully reported through the recorder.
+	log := obs.NewEventLog(0)
+	order := OrderObserved(preds(nil, nil, nil, nil), log)
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("all-empty order = %v, want %v", order, want)
+	}
+	if log.Len() != 4 {
+		t.Fatalf("recorded %d placements, want 4", log.Len())
+	}
+	for i, e := range log.Events() {
+		if e.Kind != obs.SchedulerScheduled || int(e.Query) != order[i] {
+			t.Fatalf("event %d = %+v, want SchedulerScheduled for %d", i, e, order[i])
+		}
+	}
+}
+
+func TestOrderObservedSinglePrediction(t *testing.T) {
+	log := obs.NewEventLog(0)
+	order := OrderObserved(preds(pages(5, 6)), log)
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("singleton order = %v", order)
+	}
+	if log.Len() != 1 || log.Events()[0].Query != 0 {
+		t.Fatalf("singleton placement events wrong: %+v", log.Events())
+	}
+}
+
+func TestOrderDuplicateSetsTieBreakDeterministic(t *testing.T) {
+	// Three identical sets plus the (larger) starting set: every candidate
+	// ties at the same similarity, and strict > comparison breaks ties
+	// toward the lowest index — so the schedule is index order after the
+	// start, on every run.
+	dup := pages(1, 2, 3)
+	p := preds(dup, pages(1, 2, 3, 4, 5), dup, dup)
+	want := Order(p)
+	if want[0] != 1 {
+		t.Fatalf("schedule did not start from the largest set: %v", want)
+	}
+	if !reflect.DeepEqual(want[1:], []int{0, 2, 3}) {
+		t.Fatalf("duplicate-set tie-break not index order: %v", want)
+	}
+	for run := 0; run < 50; run++ {
+		if got := Order(p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d diverged: %v vs %v", run, got, want)
+		}
+	}
+	// The observed event stream reconstructs exactly the returned order.
+	log := obs.NewEventLog(0)
+	got := OrderObserved(p, log)
+	var fromEvents []int
+	for _, e := range log.Events() {
+		fromEvents = append(fromEvents, int(e.Query))
+	}
+	if !reflect.DeepEqual(fromEvents, got) {
+		t.Fatalf("event stream %v does not reconstruct order %v", fromEvents, got)
 	}
 }

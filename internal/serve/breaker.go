@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+)
+
+// breaker states, in gauge order (the value exported as
+// pythia_breaker_state).
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+var breakerStateNames = [...]string{"closed", "half_open", "open"}
+
+// breaker is a consecutive-error circuit breaker over the model path.
+// Closed is the healthy state; threshold consecutive model failures trip it
+// open, and while open every prediction answers from the fallback path
+// without touching the model. After cooldown the breaker half-opens: trial
+// requests probe the model again, one success closes it, one failure
+// re-opens it. A threshold <= 0 disables the breaker entirely.
+//
+// State transitions are recorded as obs events (BreakerOpen,
+// BreakerHalfOpen, BreakerClosed) so trips are visible on /metrics.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	rec       obs.Recorder
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, rec obs.Recorder) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, rec: rec, now: time.Now}
+}
+
+func (b *breaker) record(k obs.Kind) {
+	if b.rec != nil {
+		b.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery})
+	}
+}
+
+// allow reports whether the model path may be tried right now, half-opening
+// an open breaker whose cooldown has elapsed.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.record(obs.BreakerHalfOpen)
+	}
+	return true
+}
+
+// success records a healthy model response, closing a half-open breaker.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.record(obs.BreakerClosed)
+	}
+}
+
+// failure records a model error, tripping the breaker at the threshold (or
+// immediately when a half-open trial fails).
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen ||
+		(b.state == breakerClosed && b.consecutive >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.record(obs.BreakerOpen)
+	}
+}
+
+// stateValue returns the state as the gauge value (closed=0, half_open=1,
+// open=2).
+func (b *breaker) stateValue() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// State returns the state's name for /stats.
+func (b *breaker) State() string { return breakerStateNames[b.stateValue()] }

@@ -26,6 +26,9 @@ type Metrics struct {
 	fallbacks      atomic.Uint64 // predictions answered by the fallback path
 	predictedPages atomic.Uint64 // total pages across predicted sets
 
+	sheds    atomic.Uint64 // requests refused at the in-flight limit
+	timeouts atomic.Uint64 // inferences that blew the request timeout
+
 	events *obs.AtomicCounters // system + replay event totals
 }
 

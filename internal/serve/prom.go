@@ -76,6 +76,26 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_model_params gauge")
 	fmt.Fprintf(w, "pythia_model_params %d\n", params)
 
+	fmt.Fprintln(w, "# HELP pythia_requests_shed_total Requests refused at the in-flight limit.")
+	fmt.Fprintln(w, "# TYPE pythia_requests_shed_total counter")
+	fmt.Fprintf(w, "pythia_requests_shed_total %d\n", m.sheds.Load())
+
+	fmt.Fprintln(w, "# HELP pythia_inference_timeouts_total Inferences that exceeded the request timeout.")
+	fmt.Fprintln(w, "# TYPE pythia_inference_timeouts_total counter")
+	fmt.Fprintf(w, "pythia_inference_timeouts_total %d\n", m.timeouts.Load())
+
+	fmt.Fprintln(w, "# HELP pythia_breaker_state Circuit breaker state (0=closed, 1=half_open, 2=open).")
+	fmt.Fprintln(w, "# TYPE pythia_breaker_state gauge")
+	fmt.Fprintf(w, "pythia_breaker_state %d\n", s.breaker.stateValue())
+
+	fmt.Fprintln(w, "# HELP pythia_draining Whether the server is draining for shutdown.")
+	fmt.Fprintln(w, "# TYPE pythia_draining gauge")
+	drain := 0
+	if s.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "pythia_draining %d\n", drain)
+
 	fmt.Fprintln(w, "# HELP pythia_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE pythia_uptime_seconds gauge")
 	fmt.Fprintf(w, "pythia_uptime_seconds %s\n", formatFloat(m.Uptime().Seconds()))

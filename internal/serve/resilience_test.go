@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/fault"
+	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/spec"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+// resilienceServer builds a server sharing the fixture's trained system but
+// with its own metrics and options, so resilience tests can trip breakers
+// and shed load without perturbing the shared fixture's counters.
+func resilienceServer(t *testing.T, opts Options) (*Server, *workload.Workload) {
+	t.Helper()
+	base, w := testServer(t)
+	return New(base.db, base.sys, NewMetrics(nil), opts), w
+}
+
+func matchedBody(t *testing.T, w *workload.Workload) *strings.Reader {
+	t.Helper()
+	b := specBody(t, spec.FromQuery(w.Instances[0].Query))
+	return strings.NewReader(b.String())
+}
+
+func TestBodyCapAnswers413(t *testing.T) {
+	srv, _ := resilienceServer(t, Options{MaxBodyBytes: 64})
+	big := `{"fact":"` + strings.Repeat("x", 200) + `"}`
+	rr := doRequest(t, srv, http.MethodPost, "/v1/predict", strings.NewReader(big))
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if env := decodeEnvelope(t, rr); env.Error.Code != CodeTooLarge {
+		t.Fatalf("envelope wrong: %+v", env)
+	}
+	// A small valid body still works on the same server.
+	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", strings.NewReader(`{"fact":"inventory"}`))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("small body status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestLoadSheddingAnswers503(t *testing.T) {
+	srv, w := resilienceServer(t, Options{MaxInFlight: 1})
+	// Saturate the in-flight slot, then observe the next request shed.
+	srv.inflight.Add(1)
+	rr := doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if env := decodeEnvelope(t, rr); env.Error.Code != CodeOverloaded {
+		t.Fatalf("envelope wrong: %+v", env)
+	}
+	if srv.metrics.sheds.Load() != 1 {
+		t.Fatalf("sheds counter %d, want 1", srv.metrics.sheds.Load())
+	}
+	// Releasing the slot restores service.
+	srv.inflight.Add(-1)
+	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("post-shed status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestInferenceTimeoutAnswers504(t *testing.T) {
+	srv, w := resilienceServer(t, Options{RequestTimeout: time.Nanosecond})
+	rr := doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if env := decodeEnvelope(t, rr); env.Error.Code != CodeDeadline {
+		t.Fatalf("envelope wrong: %+v", env)
+	}
+	if srv.metrics.timeouts.Load() == 0 {
+		t.Fatal("timeout not counted")
+	}
+}
+
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	inj := fault.New(fault.Plan{ServeRate: 1}, 1)
+	srv, w := resilienceServer(t, Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Fault:            inj,
+	})
+	// Fake clock so the cooldown needs no sleeping.
+	now := time.Unix(0, 0)
+	srv.breaker.now = func() time.Time { return now }
+
+	// Two consecutive injected model errors trip the breaker.
+	for i := 0; i < 2; i++ {
+		rr := doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+		if rr.Code != http.StatusInternalServerError {
+			t.Fatalf("fault %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		if env := decodeEnvelope(t, rr); env.Error.Code != CodeModelError {
+			t.Fatalf("envelope wrong: %+v", env)
+		}
+	}
+	if s := srv.breaker.State(); s != "open" {
+		t.Fatalf("breaker %s after threshold errors, want open", s)
+	}
+
+	// Open: predictions answer from the fallback path, degraded but 200.
+	rr := doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("open-breaker status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp predictResponse
+	if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Fallback || resp.Degraded != "breaker_open" {
+		t.Fatalf("open breaker did not degrade: %+v", resp)
+	}
+
+	// Cooldown elapses; the half-open trial still hits the injected fault
+	// and re-opens the breaker.
+	now = now.Add(2 * time.Minute)
+	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("half-open trial status %d: %s", rr.Code, rr.Body.String())
+	}
+	if s := srv.breaker.State(); s != "open" {
+		t.Fatalf("breaker %s after failed trial, want open", s)
+	}
+
+	// Fault clears; the next trial succeeds and closes the breaker.
+	srv.opts.Fault = nil
+	now = now.Add(2 * time.Minute)
+	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("recovery status %d: %s", rr.Code, rr.Body.String())
+	}
+	if s := srv.breaker.State(); s != "closed" {
+		t.Fatalf("breaker %s after successful trial, want closed", s)
+	}
+
+	// Every transition left an event on the metrics surface.
+	snap := srv.metrics.Events().Snapshot()
+	if snap.Get(obs.BreakerOpen) != 2 || snap.Get(obs.BreakerHalfOpen) != 2 || snap.Get(obs.BreakerClosed) != 1 {
+		t.Fatalf("transition events wrong: open=%d half=%d closed=%d",
+			snap.Get(obs.BreakerOpen), snap.Get(obs.BreakerHalfOpen), snap.Get(obs.BreakerClosed))
+	}
+
+	// /metrics exposes the gauge and counters.
+	text := doRequest(t, srv, http.MethodGet, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		"pythia_breaker_state 0",
+		"pythia_requests_shed_total 0",
+		"pythia_inference_timeouts_total 0",
+		"pythia_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestDrainingHealthz(t *testing.T) {
+	srv, _ := resilienceServer(t, Options{})
+	rr := doRequest(t, srv, http.MethodGet, "/v1/healthz", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthy status %d", rr.Code)
+	}
+	srv.SetDraining(true)
+	rr = doRequest(t, srv, http.MethodGet, "/v1/healthz", nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status %d", rr.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(rr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "draining" {
+		t.Fatalf("status %q, want draining", health.Status)
+	}
+	var stats statsResponse
+	rr = doRequest(t, srv, http.MethodGet, "/stats", nil)
+	if err := json.NewDecoder(rr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Draining || stats.BreakerState != "closed" {
+		t.Fatalf("stats resilience fields wrong: %+v", stats)
+	}
+	srv.SetDraining(false)
+	if rr := doRequest(t, srv, http.MethodGet, "/v1/healthz", nil); rr.Code != http.StatusOK {
+		t.Fatalf("undrained status %d", rr.Code)
+	}
+}

@@ -21,16 +21,28 @@
 //
 // Handlers honor the request context: a prediction for a client that has
 // disconnected is abandoned rather than computed to completion.
+//
+// The server degrades rather than piles up: request bodies are capped (413),
+// in-flight model requests are bounded with load shedding (503 +
+// Retry-After), inference runs under a per-request timeout (504), and a
+// consecutive-error circuit breaker trips the model path to the fallback
+// answer, half-opening after a cooldown. All of it is visible on /metrics
+// and /stats.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
@@ -45,6 +57,10 @@ const (
 	CodeInvalidSpec      = "invalid_spec"
 	CodePlanFailed       = "plan_failed"
 	CodeClientGone       = "client_disconnected"
+	CodeTooLarge         = "body_too_large"
+	CodeOverloaded       = "overloaded"
+	CodeDeadline         = "deadline_exceeded"
+	CodeModelError       = "model_error"
 )
 
 // StatusClientClosedRequest mirrors nginx's 499: the client disconnected
@@ -52,23 +68,99 @@ const (
 // is visible in metrics.
 const StatusClientClosedRequest = 499
 
+// Options are the server's resilience knobs. The zero value of each field
+// selects a sensible default; a negative value disables that protection
+// entirely (useful in tests and trusted deployments).
+type Options struct {
+	// RequestTimeout bounds model inference per request; an expired budget
+	// answers 504 deadline_exceeded. Default 5s.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served model requests (predict and
+	// explain); excess load is shed with 503 + Retry-After. Default 64.
+	MaxInFlight int
+	// MaxBodyBytes caps the request body; larger posts answer 413. Default
+	// 1 MiB.
+	MaxBodyBytes int64
+	// BreakerThreshold is the consecutive model-error count that trips the
+	// circuit breaker to the fallback path. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before half-opening
+	// to trial requests. Default 10s.
+	BreakerCooldown time.Duration
+	// Fault, when non-nil, injects transient model errors at the injector's
+	// Serve site — the deterministic chaos hook the breaker tests and drills
+	// run against.
+	Fault *fault.Injector
+}
+
+// withDefaults resolves the zero/negative convention into effective values
+// (zero now always means "disabled").
+func (o Options) withDefaults() Options {
+	def := func(v, d time.Duration) time.Duration {
+		if v == 0 {
+			return d
+		}
+		return max(v, 0)
+	}
+	o.RequestTimeout = def(o.RequestTimeout, 5*time.Second)
+	o.BreakerCooldown = def(o.BreakerCooldown, 10*time.Second)
+	switch {
+	case o.MaxInFlight == 0:
+		o.MaxInFlight = 64
+	case o.MaxInFlight < 0:
+		o.MaxInFlight = 0
+	}
+	switch {
+	case o.MaxBodyBytes == 0:
+		o.MaxBodyBytes = 1 << 20
+	case o.MaxBodyBytes < 0:
+		o.MaxBodyBytes = 0
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 5
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0
+	}
+	return o
+}
+
 // Server answers prediction requests over one trained System.
 type Server struct {
 	db      *catalog.Database
 	sys     *corepythia.System
 	metrics *Metrics
+	opts    Options
+	breaker *breaker
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	faultMu  sync.Mutex // fault.Injector is not synchronized
 }
 
 // New assembles a server over a database and its trained system. A nil
 // metrics hub gets a fresh one (with its own event counters); pass the hub
 // whose Events() you wired into the system's Config.Recorder to surface
-// workload-matching and replay events on /metrics.
-func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics) *Server {
+// workload-matching and replay events on /metrics. Zero Options fields get
+// defaults; see Options for the disable convention.
+func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Options) *Server {
 	if metrics == nil {
 		metrics = NewMetrics(nil)
 	}
-	return &Server{db: db, sys: sys, metrics: metrics}
+	opts = opts.withDefaults()
+	return &Server{
+		db: db, sys: sys, metrics: metrics, opts: opts,
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
+	}
 }
+
+// SetDraining flips the server's draining flag: /v1/healthz answers 503 so
+// load balancers stop routing here while in-flight requests finish (the
+// graceful-shutdown handshake cmd/pythia-serve performs on SIGTERM).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Metrics returns the server's metrics hub.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -77,8 +169,8 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	versioned := map[string]http.HandlerFunc{
-		"predict": s.handlePredict,
-		"explain": s.handleExplain,
+		"predict": s.shed(s.handlePredict),
+		"explain": s.shed(s.handleExplain),
 		"healthz": s.handleHealth,
 	}
 	for name, h := range versioned {
@@ -99,6 +191,37 @@ func deprecated(name string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		h(w, r)
 	}
+}
+
+// shed wraps a model-path handler with bounded-concurrency load shedding:
+// past MaxInFlight, requests are refused immediately with 503 + Retry-After
+// instead of queueing behind a saturated model.
+func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if limit := int64(s.opts.MaxInFlight); limit > 0 {
+			if s.inflight.Add(1) > limit {
+				s.inflight.Add(-1)
+				s.metrics.sheds.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+					fmt.Sprintf("server is at its in-flight limit (%d); retry shortly", limit))
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
+		h(w, r)
+	}
+}
+
+// serveFault draws the injector's Serve site under a lock (sim.Rand is not
+// synchronized and handlers run concurrently).
+func (s *Server) serveFault() bool {
+	if s.opts.Fault == nil {
+		return false
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.opts.Fault.Fire(fault.Serve, 0)
 }
 
 type errorEnvelope struct {
@@ -128,6 +251,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 type predictResponse struct {
 	Workload  string     `json:"workload"`
 	Fallback  bool       `json:"fallback"`
+	Degraded  string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
 	Pages     []pageJSON `json:"pages"`
 	PageCount int        `json:"page_count"`
 	ElapsedMS float64    `json:"elapsed_ms"`
@@ -147,8 +271,18 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (plan.Query
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST a QuerySpec JSON document")
 		return plan.Query{}, nil, false
 	}
-	qs, err := spec.Decode(r.Body)
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.opts.MaxBodyBytes)
+	}
+	qs, err := spec.Decode(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return plan.Query{}, nil, false
+		}
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 		return plan.Query{}, nil, false
 	}
@@ -171,20 +305,45 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
 	start := time.Now()
 	resp := predictResponse{}
-	if tw := s.sys.Match(q); tw != nil {
+	tw := s.sys.Match(q)
+	if tw != nil && !s.breaker.allow() {
+		// Breaker open: answer from the fallback path without touching the
+		// model. The client still gets a well-formed (empty) prediction —
+		// prefetching is advisory, so degraded beats unavailable.
+		resp.Degraded = "breaker_open"
+		tw = nil
+	}
+	if tw != nil {
+		if s.serveFault() {
+			s.breaker.failure()
+			writeError(w, http.StatusInternalServerError, CodeModelError, "transient model error (injected)")
+			return
+		}
 		resp.Workload = tw.Name
 		// Model inference is the slow step; run it off the handler
-		// goroutine so a disconnected client aborts the request instead of
-		// holding it to completion.
+		// goroutine so a disconnected client (or an expired budget) aborts
+		// the request instead of holding it to completion.
 		done := make(chan []storage.PageID, 1)
 		go func() { done <- s.sys.LimitPrefetch(tw.Pred.PredictParallel(root)) }()
 		var pages []storage.PageID
 		select {
 		case pages = <-done:
+			s.breaker.success()
 		case <-ctx.Done():
-			writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.metrics.timeouts.Add(1)
+				s.breaker.failure()
+				writeError(w, http.StatusGatewayTimeout, CodeDeadline, "inference exceeded the request timeout")
+			} else {
+				writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
+			}
 			return
 		}
 		for _, p := range pages {
@@ -234,11 +393,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Name: tw.Name, Models: len(tw.Pred.Models()), Params: tw.Pred.ParamCount(),
 		})
 	}
-	writeJSON(w, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Draining: answer 503 so load balancers stop routing here while
+		// in-flight requests finish.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
 		"workloads":      info,
 		"uptime_seconds": s.metrics.Uptime().Seconds(),
-	})
+	}); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -263,6 +432,10 @@ type statsResponse struct {
 	Events         map[string]uint64 `json:"events"`
 	BufferHitRatio float64           `json:"buffer_hit_ratio"`
 	OSHitRatio     float64           `json:"oscache_hit_ratio"`
+	Shed           uint64            `json:"requests_shed"`
+	Timeouts       uint64            `json:"inference_timeouts"`
+	BreakerState   string            `json:"breaker_state"`
+	Draining       bool              `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -282,6 +455,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Events:         snap.Map(),
 		BufferHitRatio: snap.HitRatio(obs.BufferHit, obs.BufferMiss),
 		OSHitRatio:     snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
+		Shed:           m.sheds.Load(),
+		Timeouts:       m.timeouts.Load(),
+		BreakerState:   s.breaker.State(),
+		Draining:       s.draining.Load(),
 	}
 	if resp.Predictions > 0 {
 		resp.FallbackRate = float64(resp.Fallbacks) / float64(resp.Predictions)

@@ -44,7 +44,7 @@ func testServer(t *testing.T) (*Server, *workload.Workload) {
 		cfg.Recorder = metrics.Events()
 		sys := corepythia.New(g.DB(), cfg)
 		sys.Train("t91", w.Instances)
-		fixtureSrv = New(g.DB(), sys, metrics)
+		fixtureSrv = New(g.DB(), sys, metrics, Options{})
 		fixtureW = w
 	})
 	return fixtureSrv, fixtureW

@@ -1,0 +1,54 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the serving tier's request
+// decoder: Decode and ToQuery must reject garbage with errors, never panic,
+// and anything that decodes cleanly must survive an Encode/Decode round
+// trip unchanged at the query level.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"fact":"store_sales"}`)
+	f.Add(`{"fact":"catalog_returns","template":"t91","instance":3,` +
+		`"fact_preds":[{"col":"cr_returned_date_sk","lo":10,"hi":90}],` +
+		`"dims":[{"dim":"date_dim","fact_fk":"cr_returned_date_sk","dim_key":"d_date_sk",` +
+		`"preds":[{"col":"d_year","lo":1,"hi":2}]}]}`)
+	f.Add(`{"fact":""}`)
+	f.Add(`{"fact":"x","dims":[{"dim":"d","fact_fk":"f","dim_key":"k","force_hash":true,"force_index":true}]}`)
+	f.Add(`{"fact":"x","fact_preds":[{"col":"c","lo":5,"hi":1}]}`)
+	f.Add(`{"unknown_field":1}`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		qs, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		q, err := qs.ToQuery()
+		if err != nil {
+			return
+		}
+		// Valid specs round-trip: Encode → Decode → ToQuery yields the same
+		// planner query.
+		var buf bytes.Buffer
+		if err := FromQuery(q).Encode(&buf); err != nil {
+			t.Fatalf("encode of decoded spec failed: %v", err)
+		}
+		qs2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, buf.String())
+		}
+		q2, err := qs2.ToQuery()
+		if err != nil {
+			t.Fatalf("re-converted query failed: %v", err)
+		}
+		if q.Fact != q2.Fact || q.Template != q2.Template ||
+			len(q.FactPreds) != len(q2.FactPreds) || len(q.Dims) != len(q2.Dims) {
+			t.Fatalf("round trip changed the query:\n%+v\n%+v", q, q2)
+		}
+	})
+}
