@@ -1,0 +1,168 @@
+// Command pythia-vet runs the repo's custom static-analysis suite: detclock
+// (no wall clock or global math/rand in deterministic packages), mapiter (no
+// output-reaching map iteration there), noalloc (//pythia:noalloc functions
+// must not allocate per call), and errdiscard (Plan/Build/Normalize errors
+// must be handled). See DESIGN.md "Static invariants".
+//
+// Usage:
+//
+//	go run ./cmd/pythia-vet ./...        # whole module (what CI runs)
+//	go run ./cmd/pythia-vet ./internal/sim ./internal/replay/...
+//	go run ./cmd/pythia-vet -selfcheck   # run the analyzer fixture suite
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/pythia-db/pythia/internal/analysis"
+)
+
+func main() {
+	selfcheck := flag.Bool("selfcheck", false, "run the analyzer suite over its own golden fixtures and exit")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, module, err := analysis.FindModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *selfcheck {
+		os.Exit(runSelfcheck(root, module))
+	}
+
+	paths, err := resolvePatterns(root, module, cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	loader := analysis.NewLoader(root, module)
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		pkg.Deterministic = analysis.IsDeterministic(module, path)
+		diags = append(diags, analysis.RunAll(pkg)...)
+	}
+	analysis.SortDiagnostics(diags)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-vet: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns expands the command-line package patterns ("./...",
+// "./dir/...", "./dir", or bare module-relative paths) into import paths.
+func resolvePatterns(root, module, cwd string, args []string) ([]string, error) {
+	loader := analysis.NewLoader(root, module)
+	all, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		recursive := false
+		if arg == "all" {
+			arg = "./..."
+		}
+		if strings.HasSuffix(arg, "/...") || arg == "..." {
+			recursive = true
+			arg = strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")
+			if arg == "" {
+				arg = "."
+			}
+		}
+		abs := arg
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, arg)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pythia-vet: %s is outside module %s", arg, module)
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		if !recursive {
+			add(path)
+			continue
+		}
+		for _, p := range all {
+			if p == path || strings.HasPrefix(p, path+"/") || path == module {
+				add(p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// runSelfcheck runs the fixture suite and reports per-fixture results.
+func runSelfcheck(root, module string) int {
+	reports, err := analysis.RunFixtures(root, module, filepath.Join(root, "internal", "analysis", "testdata"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-vet: selfcheck:", err)
+		return 2
+	}
+	failed := 0
+	for _, r := range reports {
+		if len(r.Problems) == 0 {
+			fmt.Printf("ok   fixture %s\n", r.Name)
+			continue
+		}
+		failed++
+		fmt.Printf("FAIL fixture %s\n", r.Name)
+		for _, p := range r.Problems {
+			fmt.Printf("     %s\n", p)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-vet: selfcheck: %d fixture(s) failed\n", failed)
+		return 1
+	}
+	fmt.Printf("selfcheck: %d fixtures ok\n", len(reports))
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pythia-vet:", err)
+	os.Exit(2)
+}

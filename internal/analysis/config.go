@@ -1,0 +1,37 @@
+package analysis
+
+import "strings"
+
+// DeterministicPackages lists the module-relative import paths whose results
+// must be bitwise reproducible: everything that executes under the virtual
+// clock or computes model state. detclock and mapiter run only here; noalloc
+// and errdiscard run module-wide (annotation- and callee-driven).
+//
+// serve, the CLI mains, experiments, and wallclock are deliberately absent:
+// they are the repo's sanctioned wall-clock surface.
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/replay",
+	"internal/buffer",
+	"internal/oscache",
+	"internal/nn",
+	"internal/model",
+	"internal/seqmodel",
+	"internal/scheduler",
+	"internal/fault",
+	"internal/exec",
+	"internal/storage",
+	"internal/predictor",
+}
+
+// IsDeterministic reports whether the import path (under the given module
+// path) is one of the deterministic packages.
+func IsDeterministic(modulePath, pkgPath string) bool {
+	rel := strings.TrimPrefix(pkgPath, modulePath+"/")
+	for _, p := range DeterministicPackages {
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}

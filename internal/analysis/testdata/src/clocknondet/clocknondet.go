@@ -1,0 +1,35 @@
+// Package clocknondet is a golden fixture analyzed as a NON-deterministic
+// package (its directory name ends in "nondet"): the deterministic-only
+// analyzers detclock and mapiter must stay silent on code that would be
+// reported anywhere in the deterministic core. errdiscard still applies —
+// it runs module-wide.
+package clocknondet
+
+import "time"
+
+// config mirrors the repo's validated-config convention.
+type config struct{ n int }
+
+// Normalize validates and fills defaults.
+func (c config) Normalize() (config, error) { return c, nil }
+
+// Uptime reads the wall clock: fine outside the deterministic core.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Keys leaks map order: fine outside the deterministic core.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// DiscardNormalize is still reported: errdiscard is not scoped to
+// deterministic packages.
+func DiscardNormalize(c config) config {
+	out, _ := c.Normalize() // want "error result of Normalize assigned to _"
+	return out
+}

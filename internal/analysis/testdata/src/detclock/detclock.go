@@ -1,0 +1,36 @@
+// Package detclock is a golden fixture: wall-clock reads and global
+// math/rand state in a deterministic package, each expected to be reported.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	time.Sleep(time.Second)  // want "time.Sleep reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// AsValue takes the function value, which is just as nondeterministic.
+var AsValue = time.Now // want "time.Now reads the wall clock"
+
+// GlobalRand draws from the process-global math/rand source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global math/rand source"
+}
+
+// SeededRand constructs an explicitly seeded generator — the deterministic
+// idiom, not reported.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// TypesOnly uses the time package for types and arithmetic only — allowed.
+func TypesOnly(d time.Duration) time.Time {
+	var t time.Time
+	return t.Add(d * 2)
+}

@@ -1,0 +1,24 @@
+// Package errcheckok is a golden fixture for the //pythia:errcheck-ok
+// escape directive: suppression works and is scoped to the annotated
+// declaration only.
+package errcheckok
+
+// config mirrors the repo's validated-config convention.
+type config struct{ n int }
+
+// Normalize validates and fills defaults.
+func (c config) Normalize() (config, error) { return c, nil }
+
+// Annotated may discard: the zero config is valid by construction here.
+//
+//pythia:errcheck-ok zero config is statically valid
+func Annotated() config {
+	out, _ := config{}.Normalize()
+	return out
+}
+
+// Unannotated must still be reported: the directive above does not leak.
+func Unannotated() config {
+	out, _ := config{}.Normalize() // want "error result of Normalize assigned to _"
+	return out
+}

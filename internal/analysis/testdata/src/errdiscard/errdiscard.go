@@ -1,0 +1,53 @@
+// Package errdiscard is a golden fixture: discarded error results of the
+// checked construction APIs (plan.Planner.Plan, workload.Build, and any
+// Normalize) are reported; handled errors and the Must variants are not.
+// The fixture is type-checked and analyzed, never executed.
+package errdiscard
+
+import (
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/plan"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+// config mirrors the repo's validated-config convention.
+type config struct{ n int }
+
+// Normalize validates and fills defaults.
+func (c config) Normalize() (config, error) { return c, nil }
+
+// DiscardPlanError throws the planner's error away.
+func DiscardPlanError(pl *plan.Planner, q plan.Query) *plan.Node {
+	n, _ := pl.Plan(q) // want "error result of plan.Planner.Plan assigned to _"
+	return n
+}
+
+// DropPlanEntirely discards result and error both.
+func DropPlanEntirely(pl *plan.Planner, q plan.Query) {
+	pl.Plan(q) // want "result and error of plan.Planner.Plan discarded"
+}
+
+// DiscardBuildError throws the workload builder's error away.
+func DiscardBuildError(db *catalog.Database, qs []plan.Query) *workload.Workload {
+	w, _ := workload.Build("w", db, qs) // want "error result of workload.Build assigned to _"
+	return w
+}
+
+// DiscardNormalizeError throws a Normalize validation error away.
+func DiscardNormalizeError(c config) config {
+	out, _ := c.Normalize() // want "error result of Normalize assigned to _"
+	return out
+}
+
+// HandledErrors is the correct shape — nothing reported.
+func HandledErrors(pl *plan.Planner, q plan.Query, c config) (*plan.Node, error) {
+	if _, err := c.Normalize(); err != nil {
+		return nil, err
+	}
+	return pl.Plan(q)
+}
+
+// MustVariant uses the valid-by-construction API — nothing reported.
+func MustVariant(pl *plan.Planner, q plan.Query) *plan.Node {
+	return pl.MustPlan(q)
+}

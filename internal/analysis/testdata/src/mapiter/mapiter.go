@@ -1,0 +1,91 @@
+// Package mapiter is a golden fixture: map iterations whose order reaches
+// an output are reported; order-independent loops and the collect-then-sort
+// idiom are not.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// recorder stands in for an obs.Recorder-like event sink.
+type recorder struct{ events []string }
+
+func (r *recorder) Record(e string) { r.events = append(r.events, e) }
+
+// AppendUnsorted leaks map order into the returned slice.
+func AppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+// CollectThenSort is the sanctioned idiom: the appended slice is sorted
+// before use, so iteration order cannot reach the output.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EmitEvents leaks map order into an event log — the exact shape that
+// corrupts a deterministic simulation timeline.
+func EmitEvents(m map[string]int, r *recorder) {
+	for k := range m {
+		r.Record(k) // want "Record call inside range over map"
+	}
+}
+
+// BuildString leaks map order into fmt output and a builder.
+func BuildString(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d;", k, v) // want "fmt call inside range over map"
+	}
+	for k := range m {
+		b.WriteString(k) // want "WriteString call inside range over map"
+	}
+	return b.String()
+}
+
+// SendKeys leaks map order into channel receive order.
+func SendKeys(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// PlaceByCounter writes successive slice slots in map order.
+func PlaceByCounter(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want "write through slice index inside range over map"
+		i++
+	}
+	return out
+}
+
+// SumValues is order-independent accumulation — not reported.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// InvertMap writes into another map — order-insensitive, not reported.
+func InvertMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

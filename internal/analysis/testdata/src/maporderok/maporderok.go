@@ -1,0 +1,25 @@
+// Package maporderok is a golden fixture for the //pythia:maporder-ok
+// escape directive: suppression works and is scoped to the annotated
+// declaration only.
+package maporderok
+
+// Annotated collects keys whose downstream consumer is order-insensitive;
+// the directive silences mapiter for this declaration.
+//
+//pythia:maporder-ok feeds an order-insensitive set union
+func Annotated(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Unannotated must still be reported: the directive above does not leak.
+func Unannotated(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}

@@ -1,0 +1,98 @@
+// Package noalloc is a golden fixture: every per-call allocating construct
+// class inside a //pythia:noalloc function is reported; the same code in an
+// unannotated function is not (the annotation is the opt-in), and the
+// allocation-free idioms of the real hot path stay silent.
+package noalloc
+
+import "fmt"
+
+// event mirrors obs.Event: a small value struct passed by value.
+type event struct {
+	kind int
+	page int64
+}
+
+// sink mirrors obs.Recorder.
+type sink interface {
+	Record(e event)
+}
+
+// counter is a concrete recorder.
+type counter struct{ n [4]uint64 }
+
+// Record mirrors the real counting recorder: array increment only.
+//
+//pythia:noalloc
+func (c *counter) Record(e event) {
+	if e.kind < len(c.n) {
+		c.n[e.kind]++
+	}
+}
+
+// emit mirrors the real emit sites: nil-check plus a value-struct literal
+// passed by value through an interface — no allocation, not reported.
+//
+//pythia:noalloc
+func emit(s sink, kind int, page int64) {
+	if s != nil {
+		s.Record(event{kind: kind, page: page})
+	}
+}
+
+// hotViolations packs one violation per construct class.
+//
+//pythia:noalloc
+func hotViolations(s sink, vals []float64) *event {
+	e := &event{kind: 1}        // want "escaping composite literal"
+	m := map[int]bool{1: true}  // want "map literal allocates"
+	sl := []float64{1, 2, 3}    // want "slice literal allocates its backing array"
+	msg := fmt.Sprintf("%v", m) // want "fmt call allocates"
+	f := func() float64 {       // want `func literal captures local "vals"`
+		return vals[0]
+	}
+	var boxed interface{}
+	boxed = f() // want "implicit interface conversion in assignment"
+	_ = boxed
+	_ = msg
+	_ = sl
+	recordAny(len(msg)) // want "concrete value passed to interface parameter"
+	return e
+}
+
+// toInterface converts explicitly on return.
+//
+//pythia:noalloc
+func toInterface(e event) interface{} {
+	return e // want "implicit interface conversion in return"
+}
+
+// coldTwin is the identical code without the annotation: noalloc is opt-in,
+// nothing is reported here.
+func coldTwin(s sink, vals []float64) *event {
+	e := &event{kind: 1}
+	m := map[int]bool{1: true}
+	msg := fmt.Sprintf("%v", m)
+	f := func() float64 { return vals[0] }
+	var boxed interface{}
+	boxed = f()
+	_ = boxed
+	_ = msg
+	recordAny(len(msg))
+	_ = s
+	return e
+}
+
+// recordAny has an interface parameter, so concrete arguments box.
+func recordAny(v interface{}) { _ = v }
+
+// accumulate mirrors the real kernels: destination-passing loops, arena-style
+// append recycling, and builtin growth are all allowed.
+//
+//pythia:noalloc
+func accumulate(dst, a, b []float64, free [][]float64) [][]float64 {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	free = append(free, dst)
+	return free
+}

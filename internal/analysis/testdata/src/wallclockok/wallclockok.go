@@ -1,0 +1,26 @@
+// Package wallclockok is a golden fixture for the //pythia:wallclock-ok
+// escape directive: the annotated declaration is suppressed, and the
+// directive is scoped to that declaration only — an identical violation in
+// the next function is still reported.
+package wallclockok
+
+import "time"
+
+// Annotated is genuinely wall-clock code; the directive silences detclock
+// for this declaration.
+//
+//pythia:wallclock-ok measures real startup latency
+func Annotated() time.Time {
+	return time.Now()
+}
+
+// Unannotated sits right next to it and must still be reported: the
+// directive above does not leak.
+func Unannotated() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// AnnotatedVar shows the directive on a var declaration.
+//
+//pythia:wallclock-ok injectable indirection default
+var AnnotatedVar = time.Now

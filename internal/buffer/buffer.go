@@ -127,6 +127,7 @@ func (p *Pool) Stats() Stats { return p.stats }
 // frame.
 func (p *Pool) SetRecorder(rec obs.Recorder) { p.rec = rec }
 
+//pythia:noalloc
 func (p *Pool) record(k obs.Kind, pg storage.PageID) {
 	if p.rec != nil {
 		p.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery, Page: pg})

@@ -28,7 +28,11 @@ func NewArena() *Arena {
 }
 
 // Get returns a zeroed rows×cols matrix, recycling a previously released
-// buffer of the same element count when one exists. Nil-safe.
+// buffer of the same element count when one exists. Nil-safe. Steady-state
+// calls are pure recycles (amortized append growth aside, which the noalloc
+// analyzer deliberately permits).
+//
+//pythia:noalloc
 func (a *Arena) Get(rows, cols int) *Mat {
 	if a == nil {
 		return NewMat(rows, cols)
@@ -49,12 +53,16 @@ func (a *Arena) Get(rows, cols int) *Mat {
 }
 
 // GetVec returns a zeroed 1×n matrix.
+//
+//pythia:noalloc
 func (a *Arena) GetVec(n int) *Mat { return a.Get(1, n) }
 
 // Release returns every matrix handed out since the previous Release to
 // the free lists. Call it at step boundaries only: matrices obtained from
 // Get must not be read or written after the Release that recycles them.
 // Nil-safe.
+//
+//pythia:noalloc
 func (a *Arena) Release() {
 	if a == nil {
 		return
@@ -87,9 +95,13 @@ type Runtime struct {
 
 // get allocates a zeroed rows×cols matrix from the arena (or the heap when
 // no arena is bound).
+//
+//pythia:noalloc
 func (rt Runtime) get(rows, cols int) *Mat { return rt.Arena.Get(rows, cols) }
 
 // add returns a + b, allocated from the runtime and computed on the pool.
+//
+//pythia:noalloc
 func (rt Runtime) add(a, b *Mat) *Mat {
 	dst := rt.get(a.Rows, a.Cols)
 	rt.Pool.AddInto(dst, a, b)

@@ -63,6 +63,8 @@ func (p *Pool) MatMulInto(dst, a, b *Mat) {
 // matMulRows computes dst rows [lo, hi) of a @ b in i-k-j order: the inner
 // loop walks b and dst rows contiguously, which matters for the decoder's
 // wide output layer.
+//
+//pythia:noalloc
 func matMulRows(dst, a, b *Mat, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
@@ -80,6 +82,8 @@ func matMulRows(dst, a, b *Mat, lo, hi int) {
 }
 
 // matMulCols computes dst columns [jlo, jhi) of a @ b for all rows.
+//
+//pythia:noalloc
 func matMulCols(dst, a, b *Mat, jlo, jhi int) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -111,6 +115,7 @@ func (p *Pool) MatMulT1Into(dst, a, b *Mat) {
 	p.shard(a.Cols, work, func(lo, hi int) { matMulT1Rows(dst, a, b, lo, hi) })
 }
 
+//pythia:noalloc
 func matMulT1Rows(dst, a, b *Mat, ilo, ihi int) {
 	for i := ilo; i < ihi; i++ {
 		orow := dst.Row(i)
@@ -145,6 +150,7 @@ func (p *Pool) AccumT1Into(dst, a, b *Mat) {
 	p.shard(a.Cols, work, func(lo, hi int) { accumT1Rows(dst, a, b, lo, hi) })
 }
 
+//pythia:noalloc
 func accumT1Rows(dst, a, b *Mat, ilo, ihi int) {
 	for i := ilo; i < ihi; i++ {
 		orow := dst.Row(i)
@@ -177,6 +183,7 @@ func (p *Pool) MatMulT2Into(dst, a, b *Mat) {
 	}
 }
 
+//pythia:noalloc
 func matMulT2Rows(dst, a, b *Mat, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
@@ -192,6 +199,7 @@ func matMulT2Rows(dst, a, b *Mat, lo, hi int) {
 	}
 }
 
+//pythia:noalloc
 func matMulT2Cols(dst, a, b *Mat, jlo, jhi int) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -219,6 +227,7 @@ func (p *Pool) AddInto(dst, a, b *Mat) {
 	p.shard(len(a.Data), len(a.Data), func(lo, hi int) { addRange(dst, a, b, lo, hi) })
 }
 
+//pythia:noalloc
 func addRange(dst, a, b *Mat, lo, hi int) {
 	da, db, dd := a.Data[lo:hi], b.Data[lo:hi], dst.Data[lo:hi]
 	for i := range dd {
@@ -236,6 +245,7 @@ func (p *Pool) AddInPlace(a, b *Mat) {
 	p.shard(len(a.Data), len(a.Data), func(lo, hi int) { accumRange(a, b, lo, hi) })
 }
 
+//pythia:noalloc
 func accumRange(a, b *Mat, lo, hi int) {
 	da, db := a.Data[lo:hi], b.Data[lo:hi]
 	for i := range db {
@@ -253,6 +263,7 @@ func (p *Pool) SoftmaxRows(m *Mat) {
 	p.shard(m.Rows, len(m.Data)*4, func(lo, hi int) { softmaxRowRange(m, lo, hi) })
 }
 
+//pythia:noalloc
 func softmaxRowRange(m *Mat, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		softmaxRow(m.Row(i))

@@ -11,6 +11,8 @@ import "sync/atomic"
 type Counters [KindCount]uint64
 
 // Record implements Recorder.
+//
+//pythia:noalloc
 func (c *Counters) Record(e Event) {
 	if e.Kind < KindCount {
 		c[e.Kind]++
@@ -73,6 +75,8 @@ func (c *Counters) Map() map[string]uint64 {
 type AtomicCounters [KindCount]atomic.Uint64
 
 // Record implements Recorder.
+//
+//pythia:noalloc
 func (c *AtomicCounters) Record(e Event) {
 	if e.Kind < KindCount {
 		c[e.Kind].Add(1)

@@ -212,6 +212,8 @@ type Recorder interface {
 type Multi []Recorder
 
 // Record implements Recorder.
+//
+//pythia:noalloc
 func (m Multi) Record(e Event) {
 	for _, r := range m {
 		if r != nil {

@@ -97,6 +97,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // asynchronously, and OSCacheEvict per eviction.
 func (c *Cache) SetRecorder(rec obs.Recorder) { c.rec = rec }
 
+//pythia:noalloc
 func (c *Cache) record(k obs.Kind, p storage.PageID) {
 	if c.rec != nil {
 		c.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery, Page: p})

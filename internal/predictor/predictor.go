@@ -76,7 +76,7 @@ type Predictor struct {
 
 // Train builds and fits a predictor from the workload's samples.
 func Train(reg *storage.Registry, samples []TrainSample, opts Options) *Predictor {
-	start := time.Now()
+	start := timeNow()
 	p := &Predictor{
 		vocab:     serialize.NewVocab(),
 		serCfg:    opts.Serialize,
@@ -205,7 +205,7 @@ func Train(reg *storage.Registry, samples []TrainSample, opts Options) *Predicto
 			p.objModels[id] = append(p.objModels[id], p.models[i])
 		}
 	}
-	p.TrainTime = time.Since(start)
+	p.TrainTime = timeSince(start)
 	return p
 }
 
@@ -284,9 +284,16 @@ func (p *Predictor) predict(root *plan.Node, parallel bool) []storage.PageID {
 	ids := p.vocab.Encode(serialize.Serialize(root, p.serCfg))
 	relevant := relevantObjects(root)
 	// A model participates if any object it covers is relevant to the plan.
+	// Walk the relevant objects in ID order so the model list (and with it
+	// the parallel-inference work assignment) never depends on map order.
+	objs := make([]storage.ObjectID, 0, len(relevant))
+	for id := range relevant {
+		objs = append(objs, id)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	seen := map[*model.Model]bool{}
 	var ms []*model.Model
-	for id := range relevant {
+	for _, id := range objs {
 		for _, m := range p.objModels[id] {
 			if !seen[m] {
 				seen[m] = true

@@ -121,6 +121,8 @@ func New(db *catalog.Database, cfg Config) *System {
 }
 
 // record emits one system-level event to the configured recorder.
+//
+//pythia:noalloc
 func (s *System) record(k obs.Kind) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Record(obs.Event{Kind: k, Query: obs.NoQuery})

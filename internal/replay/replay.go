@@ -261,6 +261,8 @@ type tagger struct {
 }
 
 // Record implements obs.Recorder.
+//
+//pythia:noalloc
 func (t *tagger) Record(e obs.Event) {
 	if e.Query == obs.NoQuery {
 		e.Query = t.current
@@ -272,16 +274,23 @@ func (t *tagger) Record(e obs.Event) {
 		t.perQ[e.Query].Record(e)
 	}
 	if e.Page.Object != storage.InvalidObject {
-		c := t.perObj[e.Page.Object]
-		if c == nil {
-			c = &obs.Counters{}
-			t.perObj[e.Page.Object] = c
-		}
-		c.Record(e)
+		t.objCounters(e.Page.Object).Record(e)
 	}
 	if t.sink != nil {
 		t.sink.Record(e)
 	}
+}
+
+// objCounters returns the per-object counter bucket, creating it on first
+// use. The lazy allocation lives here, outside the //pythia:noalloc Record
+// body: it runs once per object, not once per event.
+func (t *tagger) objCounters(obj storage.ObjectID) *obs.Counters {
+	c := t.perObj[obj]
+	if c == nil {
+		c = &obs.Counters{}
+		t.perObj[obj] = c
+	}
+	return c
 }
 
 // Run replays the queries against a cold buffer pool and OS cache. It
@@ -375,6 +384,8 @@ func (r *runner) enter() {
 
 // record emits one runner-level event (a kind the lower layers cannot see:
 // query lifecycle, foreground disk reads, prefetcher decisions).
+//
+//pythia:noalloc
 func (r *runner) record(k obs.Kind, pg storage.PageID) {
 	if r.tag != nil {
 		r.tag.Record(obs.Event{Kind: k, Query: r.idx, Page: pg})

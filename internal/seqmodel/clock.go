@@ -1,0 +1,12 @@
+package seqmodel
+
+import "github.com/pythia-db/pythia/internal/wallclock"
+
+// Wall-clock indirection for cost measurement (TrainTime/InferTime feed the
+// Figure 9 cost-structure comparison, never a simulation result). Tests swap
+// these for a fake clock to assert the timing fields; detclock forbids
+// direct time.Now here.
+var (
+	timeNow   = wallclock.Now
+	timeSince = wallclock.Since
+)

@@ -1,0 +1,58 @@
+package seqmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// swapClock installs a fake wall clock for the duration of one test: every
+// timeSince reading reports exactly step. This is the point of routing the
+// package's clock reads through the timeNow/timeSince vars instead of
+// calling time.Now directly (which the detclock analyzer forbids here).
+func swapClock(t *testing.T, step time.Duration) {
+	t.Helper()
+	savedNow, savedSince := timeNow, timeSince
+	timeNow = func() time.Time { return time.Unix(0, 0) }
+	timeSince = func(time.Time) time.Duration { return step }
+	t.Cleanup(func() { timeNow, timeSince = savedNow, savedSince })
+}
+
+// syntheticSeqs is a tiny repetitive corpus — enough to train one epoch.
+func syntheticSeqs() [][]storage.PageID {
+	seqs := make([][]storage.PageID, 6)
+	for i := range seqs {
+		for p := 0; p < 8; p++ {
+			seqs[i] = append(seqs[i], storage.PageID{Object: 1, Page: storage.PageNum(p)})
+		}
+	}
+	return seqs
+}
+
+// TestTimingUsesInjectedClock pins the clock plumbing: TrainTime is exactly
+// one fake-clock interval and InferTime accumulates one per PredictFrom call
+// — no host wall clock involved anywhere.
+func TestTimingUsesInjectedClock(t *testing.T) {
+	const step = 42 * time.Millisecond
+	swapClock(t, step)
+
+	seqs := syntheticSeqs()
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.Dim = 8
+	cfg.Heads = 1
+	m := Train(seqs, cfg)
+	if m.TrainTime != step {
+		t.Fatalf("TrainTime = %v, want exactly %v from the injected clock", m.TrainTime, step)
+	}
+
+	m.PredictFrom(seqs[0][:2], 4)
+	if m.InferTime != step {
+		t.Fatalf("InferTime = %v after one call, want %v", m.InferTime, step)
+	}
+	m.PredictFrom(seqs[0][:2], 4)
+	if m.InferTime != 2*step {
+		t.Fatalf("InferTime = %v after two calls, want %v (accumulates)", m.InferTime, 2*step)
+	}
+}

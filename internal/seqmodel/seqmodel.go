@@ -131,7 +131,7 @@ const bosID = 0
 // Train fits the baseline on the given block sequences.
 func Train(seqs [][]storage.PageID, cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	start := time.Now()
+	start := timeNow()
 	m := &Model{cfg: cfg, vocab: map[storage.PageID]int{}}
 	m.pages = append(m.pages, storage.PageID{}) // BOS placeholder
 	encode := func(p storage.PageID) int {
@@ -186,7 +186,7 @@ func Train(seqs [][]storage.PageID, cfg Config) *Model {
 			}
 		}
 	}
-	m.TrainTime = time.Since(start)
+	m.TrainTime = timeSince(start)
 	return m
 }
 
@@ -227,7 +227,7 @@ func (m *Model) Predict(n int) []storage.PageID { return m.PredictFrom(nil, n) }
 // Each generated block costs one full forward pass — the step-wise inference
 // the paper deems impractical for prefetching.
 func (m *Model) PredictFrom(seed []storage.PageID, n int) []storage.PageID {
-	start := time.Now()
+	start := timeNow()
 	if n > m.cfg.MaxGenerate {
 		n = m.cfg.MaxGenerate
 	}
@@ -263,7 +263,7 @@ func (m *Model) PredictFrom(seed []storage.PageID, n int) []storage.PageID {
 		outIDs = append(outIDs, best)
 		ctx = append(ctx, best)
 	}
-	m.InferTime += time.Since(start)
+	m.InferTime += timeSince(start)
 	m.InferredTokens += len(outIDs)
 
 	out := make([]storage.PageID, len(outIDs))

@@ -26,11 +26,19 @@ var breakerStateNames = [...]string{"closed", "half_open", "open"}
 //
 // State transitions are recorded as obs events (BreakerOpen,
 // BreakerHalfOpen, BreakerClosed) so trips are visible on /metrics.
+//
+// The breaker never calls time.Now directly: every clock read goes through
+// the injected now field. This is the serving tier's standard clock
+// convention — newBreaker wires time.Now for production, and tests assign a
+// fake so cooldown expiry is driven by advancing a variable instead of
+// sleeping (see breaker_test.go, and Metrics.setClock for the same pattern
+// on the metrics hub). The deterministic core enforces the equivalent rule
+// statically via the detclock analyzer and package-level timeNow vars.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	rec       obs.Recorder
-	now       func() time.Time // injectable for tests
+	now       func() time.Time // injected clock; time.Now outside tests
 
 	mu          sync.Mutex
 	state       int
@@ -42,6 +50,7 @@ func newBreaker(threshold int, cooldown time.Duration, rec obs.Recorder) *breake
 	return &breaker{threshold: threshold, cooldown: cooldown, rec: rec, now: time.Now}
 }
 
+//pythia:noalloc
 func (b *breaker) record(k obs.Kind) {
 	if b.rec != nil {
 		b.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery})

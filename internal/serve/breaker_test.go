@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+)
+
+// TestBreakerStateMachineOnFakeClock drives the breaker's full state machine
+// directly — no HTTP layer, no fault injector, and crucially no sleeping:
+// the entire test runs on the injected now clock, advancing a variable where
+// real time would pass. The HTTP-level companion is
+// TestBreakerOpensHalfOpensCloses in resilience_test.go.
+func TestBreakerStateMachineOnFakeClock(t *testing.T) {
+	counters := &obs.AtomicCounters{}
+	b := newBreaker(3, time.Minute, counters)
+	now := time.Unix(1_700_000_000, 0)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() || b.State() != "closed" {
+		t.Fatalf("fresh breaker: allow=%v state=%s, want allowed+closed", b.allow(), b.State())
+	}
+
+	// Failures below the threshold leave it closed; a success resets the
+	// consecutive count so the streak must be rebuilt from zero.
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if b.State() != "closed" {
+		t.Fatalf("state %s after interrupted failure streak, want closed", b.State())
+	}
+
+	// The third consecutive failure trips it open at the current fake time.
+	b.failure()
+	if b.State() != "open" {
+		t.Fatalf("state %s after threshold failures, want open", b.State())
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed the model path before cooldown")
+	}
+
+	// One tick short of the cooldown it is still open.
+	now = now.Add(time.Minute - time.Nanosecond)
+	if b.allow() {
+		t.Fatal("breaker half-opened before the cooldown elapsed")
+	}
+
+	// At the cooldown boundary allow() half-opens and admits a trial; a
+	// failed trial re-opens immediately (no new streak needed) and restarts
+	// the cooldown from the fake clock's current reading.
+	now = now.Add(time.Nanosecond)
+	if !b.allow() || b.State() != "half_open" {
+		t.Fatalf("allow=%v state=%s at cooldown expiry, want trial+half_open", b.allow(), b.State())
+	}
+	b.failure()
+	if b.State() != "open" {
+		t.Fatalf("state %s after failed trial, want open", b.State())
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed the model path without a fresh cooldown")
+	}
+
+	// Next cooldown expires; a successful trial closes it for good.
+	now = now.Add(time.Minute)
+	if !b.allow() || b.State() != "half_open" {
+		t.Fatalf("allow=%v state=%s after second cooldown, want trial+half_open", b.allow(), b.State())
+	}
+	b.success()
+	if b.State() != "closed" || !b.allow() {
+		t.Fatalf("state %s after successful trial, want closed+allowed", b.State())
+	}
+
+	// The whole trip is visible on the event counters.
+	snap := counters.Snapshot()
+	if snap.Get(obs.BreakerOpen) != 2 || snap.Get(obs.BreakerHalfOpen) != 2 || snap.Get(obs.BreakerClosed) != 1 {
+		t.Fatalf("event counts open=%d half=%d closed=%d, want 2/2/1",
+			snap.Get(obs.BreakerOpen), snap.Get(obs.BreakerHalfOpen), snap.Get(obs.BreakerClosed))
+	}
+}
+
+// TestBreakerDisabled pins the threshold<=0 escape hatch: everything is a
+// no-op and the model path is always allowed.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Minute, nil)
+	b.now = func() time.Time { panic("disabled breaker read the clock") }
+	for i := 0; i < 5; i++ {
+		b.failure()
+	}
+	if !b.allow() || b.State() != "closed" {
+		t.Fatalf("disabled breaker: allow=%v state=%s, want allowed+closed", b.allow(), b.State())
+	}
+}

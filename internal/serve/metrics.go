@@ -18,6 +18,12 @@ import (
 type Metrics struct {
 	start time.Time
 
+	// now is the clock behind uptime and request latencies. It follows the
+	// same injected-clock convention as the circuit breaker: production code
+	// leaves it at time.Now, tests swap in a fake via setClock so /metrics
+	// and /stats bodies are byte-for-byte reproducible.
+	now func() time.Time
+
 	mu       sync.Mutex
 	requests map[string]map[int]uint64 // endpoint → status code → count
 	latency  map[string]*obs.Histogram // endpoint → request latency
@@ -42,17 +48,27 @@ func NewMetrics(counters *obs.AtomicCounters) *Metrics {
 	}
 	return &Metrics{
 		start:    time.Now(),
+		now:      time.Now,
 		requests: make(map[string]map[int]uint64),
 		latency:  make(map[string]*obs.Histogram),
 		events:   counters,
 	}
 }
 
+// setClock replaces the wall clock and restarts the uptime epoch from it.
+// Test-only: with a stepped fake clock every duration the hub reports is
+// deterministic, which is what makes full-body golden tests of /metrics and
+// /stats possible.
+func (m *Metrics) setClock(now func() time.Time) {
+	m.now = now
+	m.start = now()
+}
+
 // Events returns the system event counters (also an obs.Recorder).
 func (m *Metrics) Events() *obs.AtomicCounters { return m.events }
 
 // Uptime reports time since the metrics hub was created.
-func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+func (m *Metrics) Uptime() time.Duration { return m.now().Sub(m.start) }
 
 // observeRequest records one completed HTTP request.
 func (m *Metrics) observeRequest(endpoint string, code int, d time.Duration) {
@@ -163,8 +179,8 @@ func (w *statusWriter) WriteHeader(code int) {
 func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
+		start := m.now()
 		h(sw, r)
-		m.observeRequest(endpoint, sw.code, time.Since(start))
+		m.observeRequest(endpoint, sw.code, m.now().Sub(start))
 	}
 }

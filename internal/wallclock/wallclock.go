@@ -1,0 +1,25 @@
+// Package wallclock is the single sanctioned source of wall-clock time for
+// deterministic packages. Simulation results never depend on it — the
+// virtual clock in internal/sim owns simulated time — but cost measurement
+// (train/inference wall time for the Figure 9 comparison) legitimately reads
+// the real clock. Deterministic packages must not call time.Now directly
+// (the detclock analyzer enforces this); they route through package-level
+// function variables defaulting to wallclock.Now/Since, which tests swap for
+// a fake clock to make timing fields assertable:
+//
+//	var (
+//		timeNow   = wallclock.Now
+//		timeSince = wallclock.Since
+//	)
+//
+// The import is the greppable marker of every wall-clock read outside the
+// serving tier and CLI mains.
+package wallclock
+
+import "time"
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }
