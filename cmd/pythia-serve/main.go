@@ -25,7 +25,10 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -35,6 +38,7 @@ import (
 	"github.com/pythia-db/pythia/internal/fault"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
 	"github.com/pythia-db/pythia/internal/serve"
+	"github.com/pythia-db/pythia/internal/span"
 )
 
 func main() {
@@ -54,8 +58,25 @@ func main() {
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
 		faultPlan     = flag.String("fault-plan", "", "fault-injection plan for chaos drills, e.g. serve=0.2 (empty = none)")
 		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. localhost:6060 (empty = off)")
+		traceOut      = flag.String("trace-out", "", "on shutdown, write HTTP request spans as Chrome trace-event JSON to this file (empty = off)")
 	)
 	flag.Parse()
+
+	// Validate -pprof before training: a bad address should fail in
+	// milliseconds, not after minutes of model building. The profiling
+	// endpoints expose heap contents and symbol tables, so they run on a
+	// separate server that must be bound to loopback — never on the public
+	// listener.
+	if *pprofAddr != "" {
+		host, _, err := net.SplitHostPort(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pythia-serve: -pprof %q: %v", *pprofAddr, err)
+		}
+		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			log.Fatalf("pythia-serve: -pprof must bind a loopback address, got %q", *pprofAddr)
+		}
+	}
 
 	plan, err := fault.ParsePlan(*faultPlan)
 	if err != nil {
@@ -69,6 +90,11 @@ func main() {
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
 	metrics := serve.NewMetrics(nil)
+	var tracer *span.Sync
+	if *traceOut != "" {
+		tracer = span.NewSync()
+		metrics.SetTracer(tracer)
+	}
 	cfg := corepythia.DefaultConfig()
 	cfg.Predictor.Model.Threads = *threads
 	cfg.Recorder = metrics.Events()
@@ -99,6 +125,21 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	// Graceful shutdown: on SIGINT/SIGTERM flip healthz to draining (so load
 	// balancers stop routing here), then let in-flight requests finish under
 	// the grace deadline before exiting.
@@ -121,6 +162,26 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("shutdown: %v", err)
 		}
+		if tracer != nil {
+			if err := writeTrace(*traceOut, tracer.Snapshot()); err != nil {
+				log.Printf("trace-out: %v", err)
+			} else {
+				log.Printf("wrote %s", *traceOut)
+			}
+		}
 		log.Print("pythia-serve stopped")
 	}
+}
+
+// writeTrace dumps the recorded HTTP spans as Perfetto-loadable JSON.
+func writeTrace(path string, spans []span.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := span.ExportChrome(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,111 @@
+// Command pythia-timeline replays a workload with span tracing on and emits
+// the execution timeline two ways: Chrome trace-event JSON (open it at
+// https://ui.perfetto.dev) and a per-query / per-object stall-attribution
+// report on stdout — where the virtual time went (blocked on disk, copying
+// from the OS cache) and how much disk time asynchronous prefetching hid.
+//
+//	pythia-timeline -template t91 -sf 4 -n 8 -mode oracle -out t91.trace.json
+//
+// Not to be confused with pythia-trace, which EXPLAINs one query's Algorithm
+// 1/2 artifacts (plan tree, tokens, access trace). pythia-trace answers
+// "which pages will this query touch"; pythia-timeline answers "where did
+// the replay's time go".
+//
+// Modes:
+//
+//	oracle  prefetch each query's exact non-sequential page set (the ORCL
+//	        baseline — no training, fast; isolates replay mechanics)
+//	pythia  train on -train instances, then prefetch model predictions
+//	none    default execution, no prefetching (the DFLT baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/obs"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/span"
+	"github.com/pythia-db/pythia/internal/storage"
+	"github.com/pythia-db/pythia/internal/workload"
+)
+
+func main() {
+	var (
+		template = flag.String("template", "t91", "DSB template to replay (t18, t19, t91)")
+		sf       = flag.Int("sf", 4, "scale factor")
+		seed     = flag.Uint64("seed", 7, "generator seed")
+		n        = flag.Int("n", 8, "queries to replay")
+		mode     = flag.String("mode", "oracle", "prefetch strategy: oracle, pythia, or none")
+		train    = flag.Int("train", 40, "training instances (pythia mode only)")
+		window   = flag.Int("window", 1024, "readahead window R (pinned prefetched pages)")
+		out      = flag.String("out", "pythia.trace.json", "Perfetto trace output path (empty = skip)")
+		report   = flag.Bool("report", true, "print the stall-attribution report")
+	)
+	flag.Parse()
+
+	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
+	cfg := corepythia.DefaultConfig()
+	cfg.Window = *window
+	tracer := span.New()
+	cfg.Tracer = tracer
+	counters := &obs.Counters{}
+	cfg.Recorder = counters
+	sys := corepythia.New(gen.DB(), cfg)
+
+	var strategy corepythia.PrefetchFunc
+	switch *mode {
+	case "oracle":
+		// The ORCL baseline: the query's own processed trace is the
+		// prediction. No model, so the timeline isolates replay mechanics.
+		strategy = func(inst *workload.Instance) []storage.PageID { return inst.Pages }
+	case "pythia":
+		log.Printf("training %s (%d instances)...", *template, *train)
+		tw := gen.Workload(*template, *train, *seed+1)
+		sys.Train(*template, tw.Instances)
+		strategy = sys.Prefetch
+	case "none":
+		strategy = nil
+	default:
+		log.Fatalf("pythia-timeline: unknown -mode %q (want oracle, pythia, or none)", *mode)
+	}
+
+	w := gen.Workload(*template, *n, *seed+2)
+	insts := w.Instances
+	log.Printf("replaying %d %s queries (mode %s, window %d)...", len(insts), *template, *mode, *window)
+	res := sys.Run(insts, nil, strategy)
+	log.Printf("replay done: %v total virtual time, %d spans recorded", res.TotalElapsed(), tracer.Len())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("pythia-timeline: %v", err)
+		}
+		if err := span.ExportChrome(f, tracer.Spans()); err != nil {
+			log.Fatalf("pythia-timeline: exporting trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("pythia-timeline: %v", err)
+		}
+		log.Printf("wrote %s (load it at https://ui.perfetto.dev)", *out)
+	}
+
+	if *report {
+		rep := span.BuildReport(tracer.Spans())
+		reg := gen.DB().Registry
+		err := rep.WriteText(os.Stdout, func(id storage.ObjectID) string {
+			if obj := reg.Lookup(id); obj != nil {
+				return obj.Name
+			}
+			return ""
+		})
+		if err != nil {
+			log.Fatalf("pythia-timeline: %v", err)
+		}
+		fmt.Printf("\nobs reconciliation: disk_read=%d prefetch_hit=%d oscache_hit=%d\n",
+			counters.Get(obs.DiskRead), counters.Get(obs.PrefetchHit), counters.Get(obs.OSCacheHit))
+	}
+}

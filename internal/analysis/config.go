@@ -22,6 +22,7 @@ var DeterministicPackages = []string{
 	"internal/exec",
 	"internal/storage",
 	"internal/predictor",
+	"internal/span",
 }
 
 // IsDeterministic reports whether the import path (under the given module

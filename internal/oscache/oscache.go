@@ -17,6 +17,7 @@ import (
 	"container/list"
 
 	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/span"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
@@ -61,6 +62,7 @@ type Cache struct {
 	lru       *list.List // front = most recently used
 	stats     Stats
 	rec       obs.Recorder // nil = observability off (one nil-check per event)
+	tr        *span.Tracer // nil = span tracing off
 }
 
 // New returns a cache holding capacity pages with the given maximum
@@ -96,6 +98,10 @@ func (c *Cache) Stats() Stats { return c.stats }
 // OSCacheHit/OSCacheMiss per read, OSReadaheadPage per page fetched
 // asynchronously, and OSCacheEvict per eviction.
 func (c *Cache) SetRecorder(rec obs.Recorder) { c.rec = rec }
+
+// SetTracer attaches a span tracer (nil detaches). The cache marks hits,
+// misses, and evictions as timeline instants.
+func (c *Cache) SetTracer(tr *span.Tracer) { c.tr = tr }
 
 //pythia:noalloc
 func (c *Cache) record(k obs.Kind, p storage.PageID) {
@@ -160,10 +166,12 @@ func (c *Cache) touchOrMiss(p storage.PageID) bool {
 		c.lru.MoveToFront(e)
 		c.stats.Hits++
 		c.record(obs.OSCacheHit, p)
+		c.tr.Instant(span.OSCacheHitMark, p, 0)
 		return true
 	}
 	c.stats.Misses++
 	c.record(obs.OSCacheMiss, p)
+	c.tr.Instant(span.OSCacheMissMark, p, 0)
 	c.insert(p)
 	return false
 }
@@ -180,6 +188,7 @@ func (c *Cache) insert(p storage.PageID) {
 		delete(c.pages, victim)
 		c.stats.Evictions++
 		c.record(obs.OSCacheEvict, victim)
+		c.tr.Instant(span.OSCacheEvictMark, victim, 0)
 	}
 	c.pages[p] = c.lru.PushFront(p)
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/pythia-db/pythia/internal/predictor"
 	"github.com/pythia-db/pythia/internal/replay"
 	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/span"
 	"github.com/pythia-db/pythia/internal/storage"
 	"github.com/pythia-db/pythia/internal/workload"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// into every replay this system runs, so live per-level cache counters
 	// flow to it. Nil disables observability at zero cost.
 	Recorder obs.Recorder
+	// Tracer, when non-nil, records the virtual-time span timeline of every
+	// replay this system runs (see internal/span), plus system-level
+	// inference-degrade marks. Like Replay.Fault, use a fresh tracer per
+	// run: spans accumulate across Run calls.
+	Tracer *span.Tracer
 	// InferenceDeadline is the virtual-time budget for model inference.
 	// When the replay cost model's PredictLatency exceeds it, every query
 	// degrades to the default (no-prefetch) path — prefetching is advisory,
@@ -282,6 +288,9 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 				// runs on the default path instead of waiting.
 				deadlineMisses++
 				s.record(obs.InferenceDeadlineMiss)
+				s.cfg.Tracer.SetQuery(int32(i))
+				s.cfg.Tracer.Instant(span.DegradeMark, storage.PageID{}, sim.Time(arr))
+				s.cfg.Tracer.SetQuery(span.NoQuery)
 			} else {
 				pf = s.LimitPrefetch(strategy(inst))
 			}
@@ -300,6 +309,9 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 		// The system-level recorder observes every replay too, so live
 		// per-level cache counters flow to one place.
 		cfg.Recorder = s.cfg.Recorder
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = s.cfg.Tracer
 	}
 	res := replay.Run(s.DB.Registry, cfg, specs)
 	res.InferenceDeadlineMisses = deadlineMisses

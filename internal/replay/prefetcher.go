@@ -5,6 +5,7 @@ import (
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/span"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
@@ -70,6 +71,7 @@ func (p *prefetcher) pump() {
 	if p.next < len(p.queue) && len(p.pinned)+p.inflight >= p.window {
 		p.r.result.WindowStalls++
 		p.r.record(obs.WindowStall, storage.PageID{})
+		p.r.tr.Instant(span.WindowStallMark, storage.PageID{}, 0)
 	}
 }
 
@@ -85,7 +87,11 @@ func (p *prefetcher) issue(page storage.PageID) {
 	}
 	p.r.record(obs.PrefetchIssued, page)
 	p.inflight++
-	p.attempt(page, 0)
+	// One PrefetchRead span covers the read from issue to arrival (or
+	// abandonment), retries included — disk time off the executor's critical
+	// path. Its ID rides along the attempt/retry chain.
+	sid := p.r.tr.Begin(span.PrefetchRead, page, p.r.eng.Now())
+	p.attempt(page, 0, sid)
 }
 
 // attempt runs one read attempt for an in-flight prefetch. On a transient
@@ -93,7 +99,7 @@ func (p *prefetcher) issue(page storage.PageID) {
 // it abandons the page to the executor's synchronous-read fallback. With no
 // injector configured the body reduces exactly to the original fault-free
 // read path.
-func (p *prefetcher) attempt(page storage.PageID, attempt int) {
+func (p *prefetcher) attempt(page storage.PageID, attempt int, sid span.SpanID) {
 	now := p.r.eng.Now()
 	hit, readahead := p.r.osc.Read(p.stream, page, p.r.objPages(page))
 	for range readahead {
@@ -117,29 +123,32 @@ func (p *prefetcher) attempt(page storage.PageID, attempt int) {
 			p.r.result.ReadFailures++
 			p.r.record(obs.DiskReadFailed, page)
 			if attempt >= p.r.cfg.MaxRetries {
-				p.abandon(page)
+				p.abandon(page, sid, done)
 				return
 			}
 			p.r.result.PrefetchRetries++
 			p.r.record(obs.PrefetchRetried, page)
-			p.r.eng.At(done.Add(p.r.cfg.backoff(attempt)), func() {
-				p.retry(page, attempt+1)
+			next := done.Add(p.r.cfg.backoff(attempt))
+			p.r.tr.Complete(span.PrefetchRetryWait, page, done, next)
+			p.r.eng.At(next, func() {
+				p.retry(page, attempt+1, sid)
 			})
 			return
 		}
 		arrive = done
 	}
-	p.r.eng.At(arrive, func() { p.arrived(page) })
+	p.r.eng.At(arrive, func() { p.arrived(page, sid) })
 }
 
 // retry re-runs a failed prefetch attempt after its backoff delay.
-func (p *prefetcher) retry(page storage.PageID, attempt int) {
+func (p *prefetcher) retry(page storage.PageID, attempt int, sid span.SpanID) {
 	p.r.enter()
 	if p.done {
 		p.inflight--
+		p.r.tr.End(sid, 0)
 		return
 	}
-	p.attempt(page, attempt)
+	p.attempt(page, attempt, sid)
 }
 
 // abandon gives up on one page after exhausting retries: the executor will
@@ -147,11 +156,15 @@ func (p *prefetcher) retry(page storage.PageID, attempt int) {
 // consecutive abandons disable prefetching for the rest of the query — the
 // bottom rung of the degradation ladder, converging to the no-prefetch
 // baseline instead of burning device channels on a failing path.
-func (p *prefetcher) abandon(page storage.PageID) {
+func (p *prefetcher) abandon(page storage.PageID, sid span.SpanID, done sim.Time) {
 	p.inflight--
 	p.consecAbandons++
 	p.r.result.PrefetchAbandons++
 	p.r.record(obs.PrefetchAbandoned, page)
+	// The span ends in abandonment; stash it so the executor's fallback
+	// synchronous read links back to the I/O that failed to deliver.
+	p.r.tr.EndDetail(sid, done, span.DetailAbandoned)
+	p.r.tr.Stash(page, sid)
 	if p.r.abandoned == nil {
 		p.r.abandoned = make(map[storage.PageID]bool)
 	}
@@ -165,9 +178,10 @@ func (p *prefetcher) abandon(page storage.PageID) {
 }
 
 // arrived lands a prefetched page in the buffer pool and pins it.
-func (p *prefetcher) arrived(page storage.PageID) {
+func (p *prefetcher) arrived(page storage.PageID, sid span.SpanID) {
 	p.r.enter()
 	p.inflight--
+	p.r.tr.End(sid, 0)
 	if p.done {
 		return
 	}
@@ -177,6 +191,9 @@ func (p *prefetcher) arrived(page storage.PageID) {
 		p.pinned = append(p.pinned, page)
 		p.r.result.Prefetched++
 		p.r.record(obs.PrefetchPinned, page)
+		// Stash the read span: the buffer pool links the eventual hit (or
+		// wasted eviction) of this frame back to it.
+		p.r.tr.Stash(page, sid)
 	} else {
 		// Every frame pinned: limited prefetching backs off rather than
 		// deadlocking the pool.

@@ -29,6 +29,7 @@ import (
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/oscache"
 	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/span"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
@@ -80,6 +81,14 @@ type Config struct {
 	// synchronous executor reads. Build a fresh injector (same plan + seed)
 	// per run for bitwise-reproducible timelines.
 	Fault *fault.Injector
+	// Tracer, when non-nil, records the run's virtual-time span timeline:
+	// query lifetimes, executor disk waits and OS copies, asynchronous
+	// prefetch reads with causal links to the buffer hits they produce,
+	// retry/backoff windows, and degradation marks (see internal/span). Like
+	// Recorder, nil costs one nil-check per event site, and the timeline is
+	// bitwise identical with tracing on or off. Use a fresh tracer per run:
+	// spans accumulate, and Run attaches the run's virtual clock to it.
+	Tracer *span.Tracer
 	// MaxRetries bounds the backoff retries after a failed device read
 	// (default 3). The prefetcher abandons a page once they are exhausted;
 	// the executor's final attempt always succeeds — the fault model is
@@ -307,6 +316,9 @@ func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
 	osc := oscache.New(cfg.OSCachePages, cfg.ReadaheadMax)
 
 	res := &RunResult{Queries: make([]QueryResult, len(queries))}
+	cfg.Tracer.SetClock(&eng.Clock)
+	pool.SetTracer(cfg.Tracer)
+	osc.SetTracer(cfg.Tracer)
 	var tag *tagger
 	if cfg.Recorder != nil {
 		tag = &tagger{
@@ -324,7 +336,7 @@ func Run(reg *storage.Registry, cfg Config, queries []QuerySpec) *RunResult {
 		qr := &runner{
 			eng: eng, disk: disk, pool: pool, osc: osc, reg: reg,
 			cfg: cfg, spec: q, result: &res.Queries[i],
-			tag: tag, idx: int32(i),
+			tag: tag, tr: cfg.Tracer, idx: int32(i),
 		}
 		eng.At(sim.Time(q.Arrival), qr.start)
 	}
@@ -360,8 +372,12 @@ type runner struct {
 
 	result *QueryResult
 
-	tag *tagger // nil = observability off
-	idx int32   // run-local query index for event attribution
+	tag *tagger      // nil = observability off
+	tr  *span.Tracer // nil = span tracing off
+	idx int32        // run-local query index for event attribution
+
+	// lifeSpan is the query's open QuerySpan (NoSpan when tracing is off).
+	lifeSpan span.SpanID
 
 	execStream *oscache.Stream
 	pf         *prefetcher
@@ -380,6 +396,7 @@ func (r *runner) enter() {
 	if r.tag != nil {
 		r.tag.current = r.idx
 	}
+	r.tr.SetQuery(r.idx)
 }
 
 // record emits one runner-level event (a kind the lower layers cannot see:
@@ -404,6 +421,7 @@ func (r *runner) start() {
 	r.enter()
 	r.result.Start = r.eng.Now()
 	r.record(obs.QueryStart, storage.PageID{})
+	r.lifeSpan = r.tr.BeginLabel(span.QuerySpan, r.spec.ID, storage.PageID{}, r.result.Start)
 	r.execStream = r.osc.NewStream()
 	if len(r.spec.Prefetch) > 0 {
 		window := r.spec.Window
@@ -413,6 +431,8 @@ func (r *runner) start() {
 		r.pf = newPrefetcher(r, r.spec.Prefetch, window)
 		// Prediction latency gates the prefetcher, not the executor: model
 		// inference runs on the side while execution begins (§3.3).
+		r.tr.Complete(span.InferWait, storage.PageID{}, r.result.Start,
+			r.result.Start.Add(r.cfg.Cost.PredictLatency))
 		r.eng.Schedule(r.cfg.Cost.PredictLatency, r.pf.start)
 	}
 	r.eng.Schedule(0, r.step)
@@ -439,10 +459,12 @@ func (r *runner) step() {
 		if r.abandoned != nil && r.abandoned[req.Page] {
 			// The prefetcher gave this page up; the executor now pays for
 			// it synchronously — the degradation path that converges to
-			// the no-prefetch baseline.
+			// the no-prefetch baseline. The mark links back to the
+			// abandoned PrefetchRead span that caused it.
 			delete(r.abandoned, req.Page)
 			r.result.FallbackSyncReads++
 			r.record(obs.FallbackSyncRead, req.Page)
+			r.tr.InstantLink(span.FallbackSyncMark, req.Page, 0, r.tr.TakeStash(req.Page))
 		}
 		hit, readahead := r.osc.Read(r.execStream, req.Page, r.objPages(req.Page))
 		// Kernel readahead occupies device channels in the background
@@ -455,10 +477,14 @@ func (r *runner) step() {
 		if hit {
 			r.result.OSCopies++
 			delay += cost.OSCacheCopy
+			r.tr.Complete(span.ExecOSCopy, req.Page, now, now.Add(cost.OSCacheCopy))
 		} else {
 			r.result.DiskReads++
 			r.record(obs.DiskRead, req.Page)
+			sid := r.tr.Begin(span.ExecDiskWait, req.Page, now)
 			done := r.syncRead(now, req.Page)
+			r.tr.End(sid, done)
+			r.tr.Complete(span.ExecOSCopy, req.Page, done, done.Add(cost.OSCacheCopy))
 			delay += done.Sub(now) + cost.OSCacheCopy
 		}
 		r.pool.Insert(req.Page, false)
@@ -493,7 +519,9 @@ func (r *runner) syncRead(at sim.Time, page storage.PageID) sim.Time {
 		}
 		r.result.ReadFailures++
 		r.record(obs.DiskReadFailed, page)
-		t = done.Add(r.cfg.backoff(attempt))
+		next := done.Add(r.cfg.backoff(attempt))
+		r.tr.Complete(span.ExecRetryWait, page, done, next)
+		t = next
 	}
 }
 
@@ -501,6 +529,7 @@ func (r *runner) finish() {
 	r.result.End = r.eng.Now()
 	r.result.Elapsed = r.result.End.Sub(r.result.Start)
 	r.record(obs.QueryFinish, storage.PageID{})
+	r.tr.End(r.lifeSpan, r.result.End)
 	if r.pf != nil {
 		r.pf.shutdown()
 	}

@@ -39,6 +39,9 @@ func goldenServer(t *testing.T) *Server {
 	metrics := NewMetrics(nil)
 	clk := &fakeClock{t: time.Unix(1_700_000_000, 0).UTC()}
 	metrics.setClock(clk.Now)
+	// Build metadata varies by toolchain and checkout; pin it so the golden
+	// bodies are byte-identical everywhere.
+	metrics.setBuildInfo(BuildInfo{GoVersion: "go1.22.0", Path: "github.com/pythia-db/pythia", Revision: "deadbeef"})
 	cfg := corepythia.DefaultConfig()
 	cfg.Recorder = metrics.Events()
 	sys := corepythia.New(g.DB(), cfg)

@@ -2,13 +2,49 @@ package serve
 
 import (
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/span"
 )
+
+// BuildInfo identifies the running binary on /metrics (the
+// pythia_build_info gauge) and /stats (the build block): the Go toolchain,
+// the main module path, and the VCS revision when the binary was built from
+// a checkout. Unknown fields read "unknown" so the labels are always
+// present.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path"`
+	Revision  string `json:"revision"`
+}
+
+// readBuildInfo extracts BuildInfo from the binary's embedded build
+// metadata.
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: "unknown", Path: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	if info.Main.Path != "" {
+		b.Path = info.Main.Path
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			b.Revision = s.Value
+		}
+	}
+	return b
+}
 
 // Metrics aggregates everything the serving surface exposes on /metrics and
 // /stats: HTTP request counts and latencies per endpoint, prediction
@@ -36,6 +72,13 @@ type Metrics struct {
 	timeouts atomic.Uint64 // inferences that blew the request timeout
 
 	events *obs.AtomicCounters // system + replay event totals
+
+	build BuildInfo
+
+	// tracer, when non-nil, records one span.HTTPSpan per instrumented
+	// request (endpoint label, status-code detail, timestamps relative to
+	// the hub's start epoch on its injected clock). Nil costs one nil-check.
+	tracer *span.Sync
 }
 
 // NewMetrics returns an empty metrics hub recording system events into
@@ -52,6 +95,7 @@ func NewMetrics(counters *obs.AtomicCounters) *Metrics {
 		requests: make(map[string]map[int]uint64),
 		latency:  make(map[string]*obs.Histogram),
 		events:   counters,
+		build:    readBuildInfo(),
 	}
 }
 
@@ -63,6 +107,21 @@ func (m *Metrics) setClock(now func() time.Time) {
 	m.now = now
 	m.start = now()
 }
+
+// setBuildInfo replaces the binary's build identity. Test-only, same role as
+// setClock: ReadBuildInfo output varies by toolchain, so golden-body tests
+// pin fixed values.
+func (m *Metrics) setBuildInfo(b BuildInfo) { m.build = b }
+
+// Build returns the binary's build identity as exposed on /metrics and
+// /stats.
+func (m *Metrics) Build() BuildInfo { return m.build }
+
+// SetTracer attaches a concurrent span tracer recording one HTTPSpan per
+// instrumented request (nil detaches). Timestamps are real time relative to
+// the hub's start epoch, so a span.Report or Perfetto export of serving
+// traffic lines up at zero.
+func (m *Metrics) SetTracer(tr *span.Sync) { m.tracer = tr }
 
 // Events returns the system event counters (also an obs.Recorder).
 func (m *Metrics) Events() *obs.AtomicCounters { return m.events }
@@ -181,6 +240,9 @@ func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := m.now()
 		h(sw, r)
-		m.observeRequest(endpoint, sw.code, m.now().Sub(start))
+		end := m.now()
+		m.observeRequest(endpoint, sw.code, end.Sub(start))
+		m.tracer.CompleteLabel(span.HTTPSpan, endpoint, span.NoQuery, uint32(sw.code),
+			sim.Time(start.Sub(m.start)), sim.Time(end.Sub(m.start)))
 	}
 }

@@ -99,6 +99,12 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP pythia_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE pythia_uptime_seconds gauge")
 	fmt.Fprintf(w, "pythia_uptime_seconds %s\n", formatFloat(m.Uptime().Seconds()))
+
+	b := m.Build()
+	fmt.Fprintln(w, "# HELP pythia_build_info Build identity of the running binary (value is always 1).")
+	fmt.Fprintln(w, "# TYPE pythia_build_info gauge")
+	fmt.Fprintf(w, "pythia_build_info{go_version=%q,path=%q,revision=%q} 1\n",
+		b.GoVersion, b.Path, b.Revision)
 }
 
 // formatFloat renders a float the way Prometheus expects (shortest exact

@@ -422,6 +422,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the JSON shape of /stats.
 type statsResponse struct {
 	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Build          BuildInfo         `json:"build"`
 	Requests       []requestRow      `json:"requests"`
 	Latency        []latencyRow      `json:"latency"`
 	Predictions    uint64            `json:"predictions"`
@@ -447,6 +448,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := m.events.Snapshot()
 	resp := statsResponse{
 		UptimeSeconds:  m.Uptime().Seconds(),
+		Build:          m.Build(),
 		Requests:       m.snapshotRequests(),
 		Latency:        m.snapshotLatency(),
 		Predictions:    m.predictions.Load(),

@@ -1,0 +1,422 @@
+// Package span is the virtual-time span tracer: where internal/obs proves
+// *that* counters moved, span proves *where virtual time went*. A Tracer
+// records begin/end spans stamped with sim.Time, attributed to the query and
+// page they concern, and causally linked across actors (a prefetch read →
+// the executor hit that consumed it; an abandoned prefetch → the fallback
+// synchronous read that paid for it) — the per-query stall breakdown the
+// paper's evaluation figures rest on, reconstructable after the run instead
+// of eyeballed from counters.
+//
+// The name: internal/trace is already taken by the paper's Algorithm 1
+// access-trace construction (which pages a query touches); span is about
+// execution timelines (when the executor waited, and on what).
+//
+// Contract, mirroring obs.Recorder:
+//
+//   - Nil is off. Every method is nil-receiver safe and a nil *Tracer costs
+//     each event site exactly one nil-check; replay timelines are bitwise
+//     identical with tracing on or off (the tracer never schedules work).
+//   - Zero allocation per event when enabled. Spans are value structs
+//     appended to one slice (amortized growth; Reserve pre-sizes it), and
+//     the causal-link stash is one map keyed by page. Hot-path methods are
+//     annotated //pythia:noalloc and enforced by pythia-vet.
+//   - Single-writer. The replay simulator is single-threaded; the HTTP
+//     serving tier wraps a Tracer in Sync (one mutex per event).
+package span
+
+import (
+	"sync"
+
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// Kind enumerates span types. Duration kinds describe an interval of virtual
+// time; mark kinds are zero-duration annotations (Start == End).
+type Kind uint8
+
+const (
+	// --- duration spans ---
+
+	// QuerySpan covers a query's whole lifetime (start → finish). Its label
+	// carries the query's ID string.
+	QuerySpan Kind = iota
+	// InferWait is the model-inference window that gates the prefetcher:
+	// execution proceeds underneath it, prefetching begins at its end (§3.3).
+	InferWait
+	// ExecDiskWait is the executor blocked on a foreground device read — the
+	// stall prefetching exists to remove. Covers the whole retry ladder when
+	// fault injection is active.
+	ExecDiskWait
+	// ExecOSCopy is the kernel→user-space copy window a buffer miss pays
+	// whether the page came from the OS cache or (after the read) the device.
+	ExecOSCopy
+	// ExecRetryWait is the executor's backoff window between failed device
+	// read attempts (nested inside its ExecDiskWait).
+	ExecRetryWait
+	// PrefetchRead is one asynchronous prefetch read in flight, from issue to
+	// arrival — disk time paid off the executor's critical path. A read
+	// abandoned after retry exhaustion ends with Detail = DetailAbandoned.
+	PrefetchRead
+	// PrefetchRetryWait is the prefetcher's backoff window before retrying a
+	// failed read.
+	PrefetchRetryWait
+	// HTTPSpan is one serving-tier request (real time on the metrics hub's
+	// injected clock); its label is the endpoint, Detail the status code.
+	HTTPSpan
+
+	// --- marks (instant annotations) ---
+
+	// PrefetchHitMark: the executor consumed a prefetched frame; links to the
+	// PrefetchRead span that brought the page in.
+	PrefetchHitMark
+	// FallbackSyncMark: the executor synchronously read a page the
+	// prefetcher abandoned; links to the abandoned PrefetchRead span.
+	FallbackSyncMark
+	// WindowStallMark: the prefetcher had queued pages but the readahead
+	// window R was full.
+	WindowStallMark
+	// DegradeMark: model inference blew its deadline and the query degraded
+	// to the default (no-prefetch) path.
+	DegradeMark
+	// BufferHitMark / BufferMissMark / BufferEvictMark annotate buffer-pool
+	// outcomes on the timeline.
+	BufferHitMark
+	BufferMissMark
+	BufferEvictMark
+	// PrefetchWastedMark: a prefetched frame was evicted before any executor
+	// use; links to the PrefetchRead span whose I/O was wasted.
+	PrefetchWastedMark
+	// OSCacheHitMark / OSCacheMissMark / OSCacheEvictMark annotate OS page
+	// cache outcomes.
+	OSCacheHitMark
+	OSCacheMissMark
+	OSCacheEvictMark
+
+	// KindCount is the number of span kinds; it must remain last.
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	QuerySpan:          "query",
+	InferWait:          "inference",
+	ExecDiskWait:       "disk_wait",
+	ExecOSCopy:         "os_copy",
+	ExecRetryWait:      "retry_wait",
+	PrefetchRead:       "prefetch_read",
+	PrefetchRetryWait:  "prefetch_retry_wait",
+	HTTPSpan:           "http_request",
+	PrefetchHitMark:    "prefetch_hit",
+	FallbackSyncMark:   "fallback_sync_read",
+	WindowStallMark:    "window_stall",
+	DegradeMark:        "inference_degrade",
+	BufferHitMark:      "buffer_hit",
+	BufferMissMark:     "buffer_miss",
+	BufferEvictMark:    "buffer_evict",
+	PrefetchWastedMark: "prefetch_wasted",
+	OSCacheHitMark:     "oscache_hit",
+	OSCacheMissMark:    "oscache_miss",
+	OSCacheEvictMark:   "oscache_evict",
+}
+
+// String returns the kind's snake_case name (stable: it is the event name
+// exported to Perfetto and printed in stall reports).
+func (k Kind) String() string {
+	if k < KindCount {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// DetailAbandoned on a PrefetchRead span marks a read that ended in
+// abandonment (retry exhaustion) rather than arrival.
+const DetailAbandoned uint32 = 1
+
+// SpanID indexes a span within its Tracer. It doubles as the causal-link
+// handle and as the Perfetto flow-event ID.
+type SpanID int32
+
+// NoSpan is the absent-link sentinel.
+const NoSpan SpanID = -1
+
+// NoQuery marks a span not attributed to any query (mirrors obs.NoQuery).
+const NoQuery int32 = -1
+
+// Span is one recorded interval or mark. Marks have Start == End.
+type Span struct {
+	// Kind is the span type.
+	Kind Kind
+	// Query is the run-local query index the span belongs to, or NoQuery.
+	Query int32
+	// Page is the page concerned, or the zero PageID.
+	Page storage.PageID
+	// Start and End bound the span on the virtual timeline.
+	Start, End sim.Time
+	// Link is the causal predecessor span, or NoSpan.
+	Link SpanID
+	// Detail is kind-specific: DetailAbandoned on PrefetchRead, the HTTP
+	// status code on HTTPSpan, zero otherwise.
+	Detail uint32
+	// Label optionally names the span (query ID, HTTP endpoint); the
+	// exporter falls back to Kind.String() when empty.
+	Label string
+}
+
+// Dur returns the span's duration.
+func (s *Span) Dur() sim.Duration { return s.End.Sub(s.Start) }
+
+// Tracer records spans. The zero value is NOT ready: construct with New. A
+// nil *Tracer is valid everywhere and records nothing.
+type Tracer struct {
+	clock   *sim.Clock // optional: resolves at == 0 to the current virtual time
+	current int32      // query index stamped on new spans (SetQuery)
+	spans   []Span
+	stash   map[storage.PageID]SpanID // open causal links keyed by page
+}
+
+// New returns an empty tracer with no clock and the current query unset.
+func New() *Tracer {
+	return &Tracer{current: NoQuery, stash: make(map[storage.PageID]SpanID)}
+}
+
+// SetClock attaches the virtual clock used to resolve zero timestamps
+// (emitters that do not have the current time at hand pass 0). replay.Run
+// attaches its engine's clock automatically.
+func (t *Tracer) SetClock(c *sim.Clock) {
+	if t == nil {
+		return
+	}
+	t.clock = c
+}
+
+// SetQuery sets the query index stamped on subsequently recorded spans; the
+// replay runners call it on every engine-callback entry, exactly like the
+// obs tagger's current-query field.
+//
+//pythia:noalloc
+func (t *Tracer) SetQuery(q int32) {
+	if t == nil {
+		return
+	}
+	t.current = q
+}
+
+// Reserve grows the span store to hold at least n spans, so a bounded run
+// records with zero allocations (the allocs tests pre-size this way).
+func (t *Tracer) Reserve(n int) {
+	if t == nil || cap(t.spans) >= n {
+		return
+	}
+	s := make([]Span, len(t.spans), n)
+	copy(s, t.spans)
+	t.spans = s
+}
+
+// Reset forgets all recorded spans and stashed links, keeping capacity, so a
+// tracer can be reused across independent runs.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.spans = t.spans[:0]
+	for k := range t.stash {
+		delete(t.stash, k)
+	}
+	t.current = NoQuery
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns the recorded spans in record order. The slice is the
+// tracer's own store: treat it as read-only and do not record concurrently.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// at resolves a zero timestamp to the attached clock's current time.
+func (t *Tracer) at(at sim.Time) sim.Time {
+	if at == 0 && t.clock != nil {
+		return t.clock.Now()
+	}
+	return at
+}
+
+// push appends one span and returns its ID.
+//
+//pythia:noalloc
+func (t *Tracer) push(s Span) SpanID {
+	id := SpanID(len(t.spans))
+	t.spans = append(t.spans, s)
+	return id
+}
+
+// Begin opens a span at time at (0 = now per the attached clock) and returns
+// its ID for End.
+//
+//pythia:noalloc
+func (t *Tracer) Begin(k Kind, pg storage.PageID, at sim.Time) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	start := t.at(at)
+	return t.push(Span{Kind: k, Query: t.current, Page: pg, Start: start, End: start, Link: NoSpan})
+}
+
+// BeginLabel is Begin with a label (e.g. the query ID on QuerySpan).
+//
+//pythia:noalloc
+func (t *Tracer) BeginLabel(k Kind, label string, pg storage.PageID, at sim.Time) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	start := t.at(at)
+	return t.push(Span{Kind: k, Query: t.current, Page: pg, Start: start, End: start, Link: NoSpan, Label: label})
+}
+
+// End closes span id at time at (0 = now). Ending NoSpan (or any
+// out-of-range ID) is a no-op, so call sites need no guards.
+//
+//pythia:noalloc
+func (t *Tracer) End(id SpanID, at sim.Time) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].End = t.at(at)
+}
+
+// EndDetail is End plus a kind-specific detail value (e.g. DetailAbandoned).
+//
+//pythia:noalloc
+func (t *Tracer) EndDetail(id SpanID, at sim.Time, detail uint32) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].End = t.at(at)
+	t.spans[id].Detail = detail
+}
+
+// Complete records a span whose bounds are both known (0 = now for either).
+//
+//pythia:noalloc
+func (t *Tracer) Complete(k Kind, pg storage.PageID, start, end sim.Time) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	return t.push(Span{Kind: k, Query: t.current, Page: pg, Start: t.at(start), End: t.at(end), Link: NoSpan})
+}
+
+// CompleteLabel is Complete with an explicit query, label, and detail — the
+// serving tier's shape (endpoint label, status-code detail, no ambient
+// query).
+//
+//pythia:noalloc
+func (t *Tracer) CompleteLabel(k Kind, label string, q int32, detail uint32, start, end sim.Time) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	return t.push(Span{Kind: k, Query: q, Page: storage.PageID{}, Start: t.at(start), End: t.at(end), Link: NoSpan, Detail: detail, Label: label})
+}
+
+// Instant records a zero-duration mark at time at (0 = now).
+//
+//pythia:noalloc
+func (t *Tracer) Instant(k Kind, pg storage.PageID, at sim.Time) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	ts := t.at(at)
+	return t.push(Span{Kind: k, Query: t.current, Page: pg, Start: ts, End: ts, Link: NoSpan})
+}
+
+// InstantLink records a mark causally linked to span link (NoSpan links
+// nothing).
+//
+//pythia:noalloc
+func (t *Tracer) InstantLink(k Kind, pg storage.PageID, at sim.Time, link SpanID) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	ts := t.at(at)
+	return t.push(Span{Kind: k, Query: t.current, Page: pg, Start: ts, End: ts, Link: link})
+}
+
+// Stash parks an open causal link under a page, for a later consumer that
+// only knows the page: the prefetcher stashes its PrefetchRead span when the
+// page lands (or is abandoned), and the buffer pool or executor takes it
+// when the page is consumed.
+//
+//pythia:noalloc
+func (t *Tracer) Stash(pg storage.PageID, id SpanID) {
+	if t == nil || id == NoSpan {
+		return
+	}
+	t.stash[pg] = id
+}
+
+// TakeStash removes and returns the link stashed under a page, or NoSpan.
+//
+//pythia:noalloc
+func (t *Tracer) TakeStash(pg storage.PageID) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	id, ok := t.stash[pg]
+	if !ok {
+		return NoSpan
+	}
+	delete(t.stash, pg)
+	return id
+}
+
+// Sync wraps a Tracer for concurrent writers (the HTTP serving tier): one
+// mutex acquisition per event, no allocation. A nil *Sync records nothing.
+type Sync struct {
+	mu sync.Mutex
+	tr *Tracer
+}
+
+// NewSync returns a Sync over a fresh tracer.
+func NewSync() *Sync { return &Sync{tr: New()} }
+
+// CompleteLabel records one completed span under the lock.
+//
+//pythia:noalloc
+func (s *Sync) CompleteLabel(k Kind, label string, q int32, detail uint32, start, end sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tr.CompleteLabel(k, label, q, detail, start, end)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (s *Sync) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Len()
+}
+
+// Snapshot copies the recorded spans under the lock, in record order.
+func (s *Sync) Snapshot() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Span, len(s.tr.spans))
+	copy(out, s.tr.spans)
+	return out
+}

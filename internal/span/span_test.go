@@ -1,0 +1,257 @@
+package span
+
+import (
+	"testing"
+
+	"github.com/pythia-db/pythia/internal/sim"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func pg(obj, n uint32) storage.PageID {
+	return storage.PageID{Object: storage.ObjectID(obj), Page: storage.PageNum(n)}
+}
+
+// TestNilTracerIsSafe exercises every method on a nil *Tracer — the off
+// switch must be a no-op everywhere, exactly like a nil obs.Recorder or a
+// nil fault.Injector.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(&sim.Clock{})
+	tr.SetQuery(3)
+	tr.Reserve(100)
+	tr.Reset()
+	if id := tr.Begin(ExecDiskWait, pg(1, 2), 5); id != NoSpan {
+		t.Errorf("nil Begin = %d, want NoSpan", id)
+	}
+	if id := tr.BeginLabel(QuerySpan, "q", pg(1, 2), 5); id != NoSpan {
+		t.Errorf("nil BeginLabel = %d, want NoSpan", id)
+	}
+	tr.End(0, 10)
+	tr.EndDetail(0, 10, 1)
+	if id := tr.Complete(ExecOSCopy, pg(1, 2), 5, 10); id != NoSpan {
+		t.Errorf("nil Complete = %d, want NoSpan", id)
+	}
+	if id := tr.CompleteLabel(HTTPSpan, "predict", NoQuery, 200, 5, 10); id != NoSpan {
+		t.Errorf("nil CompleteLabel = %d, want NoSpan", id)
+	}
+	if id := tr.Instant(BufferHitMark, pg(1, 2), 5); id != NoSpan {
+		t.Errorf("nil Instant = %d, want NoSpan", id)
+	}
+	if id := tr.InstantLink(PrefetchHitMark, pg(1, 2), 5, 7); id != NoSpan {
+		t.Errorf("nil InstantLink = %d, want NoSpan", id)
+	}
+	tr.Stash(pg(1, 2), 7)
+	if id := tr.TakeStash(pg(1, 2)); id != NoSpan {
+		t.Errorf("nil TakeStash = %d, want NoSpan", id)
+	}
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Errorf("nil tracer has spans")
+	}
+
+	var sy *Sync
+	sy.CompleteLabel(HTTPSpan, "predict", NoQuery, 200, 5, 10)
+	if sy.Len() != 0 || sy.Snapshot() != nil {
+		t.Errorf("nil Sync has spans")
+	}
+}
+
+// TestSpanRecording checks ID assignment, bounds, attribution, and the
+// End/EndDetail guards.
+func TestSpanRecording(t *testing.T) {
+	tr := New()
+	tr.SetQuery(2)
+	id := tr.Begin(ExecDiskWait, pg(4, 9), 100)
+	if id != 0 {
+		t.Fatalf("first span ID = %d", id)
+	}
+	tr.End(id, 350)
+	s := tr.Spans()[0]
+	if s.Kind != ExecDiskWait || s.Query != 2 || s.Page != pg(4, 9) || s.Start != 100 || s.End != 350 {
+		t.Errorf("span = %+v", s)
+	}
+	if got := s.Dur(); got != 250 {
+		t.Errorf("Dur = %v", got)
+	}
+
+	// Out-of-range and NoSpan ends are silent no-ops.
+	tr.End(NoSpan, 999)
+	tr.End(42, 999)
+	tr.EndDetail(NoSpan, 999, 7)
+
+	id2 := tr.Complete(ExecOSCopy, pg(4, 10), 350, 354)
+	if id2 != 1 {
+		t.Errorf("second span ID = %d", id2)
+	}
+	tr.EndDetail(id2, 360, DetailAbandoned)
+	if s := tr.Spans()[1]; s.End != 360 || s.Detail != DetailAbandoned {
+		t.Errorf("EndDetail: %+v", s)
+	}
+
+	mark := tr.InstantLink(PrefetchHitMark, pg(4, 9), 400, id)
+	if s := tr.Spans()[mark]; s.Start != 400 || s.End != 400 || s.Link != id {
+		t.Errorf("mark = %+v", s)
+	}
+
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("Len after Reset = %d", tr.Len())
+	}
+}
+
+// TestClockResolution: a zero timestamp means "now" on the attached clock; a
+// tracer without a clock keeps the zero.
+func TestClockResolution(t *testing.T) {
+	tr := New()
+	var clk sim.Clock
+	clk.Advance(777)
+	tr.SetClock(&clk)
+	id := tr.Instant(BufferHitMark, pg(1, 1), 0)
+	if got := tr.Spans()[id].Start; got != 777 {
+		t.Errorf("clock-resolved start = %v, want 777", got)
+	}
+	id = tr.Instant(BufferHitMark, pg(1, 1), 555)
+	if got := tr.Spans()[id].Start; got != 555 {
+		t.Errorf("explicit start = %v, want 555", got)
+	}
+}
+
+// TestStash: links park under a page and are consumed exactly once.
+func TestStash(t *testing.T) {
+	tr := New()
+	id := tr.Begin(PrefetchRead, pg(3, 7), 10)
+	tr.Stash(pg(3, 7), id)
+	if got := tr.TakeStash(pg(3, 7)); got != id {
+		t.Errorf("TakeStash = %d, want %d", got, id)
+	}
+	if got := tr.TakeStash(pg(3, 7)); got != NoSpan {
+		t.Errorf("second TakeStash = %d, want NoSpan", got)
+	}
+	// Stashing NoSpan is a no-op, so disabled-tracer IDs never pollute maps.
+	tr.Stash(pg(3, 8), NoSpan)
+	if got := tr.TakeStash(pg(3, 8)); got != NoSpan {
+		t.Errorf("TakeStash after NoSpan stash = %d", got)
+	}
+}
+
+// TestSyncSnapshot: concurrent-writer wrapper records and snapshots.
+func TestSyncSnapshot(t *testing.T) {
+	sy := NewSync()
+	sy.CompleteLabel(HTTPSpan, "predict", NoQuery, 200, 100, 300)
+	sy.CompleteLabel(HTTPSpan, "stats", NoQuery, 200, 400, 450)
+	snap := sy.Snapshot()
+	if len(snap) != 2 || sy.Len() != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if snap[0].Label != "predict" || snap[0].Detail != 200 || snap[0].Dur() != 200 {
+		t.Errorf("snap[0] = %+v", snap[0])
+	}
+	// The snapshot is a copy: mutating it does not touch the tracer.
+	snap[0].Label = "mutated"
+	if got := sy.Snapshot()[0].Label; got != "predict" {
+		t.Errorf("snapshot aliases tracer store: %q", got)
+	}
+}
+
+// TestKindNames: every kind has a distinct non-empty snake_case name (they
+// are exported trace-event names and report labels).
+func TestKindNames(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < KindCount; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if KindCount.String() != "unknown" {
+		t.Errorf("KindCount.String() = %q", KindCount.String())
+	}
+}
+
+// TestRecordingAllocFree proves the per-event contract: with capacity
+// reserved, neither the nil-tracer path nor the enabled path allocates.
+func TestRecordingAllocFree(t *testing.T) {
+	var nilTr *Tracer
+	p := pg(2, 5)
+	if a := testing.AllocsPerRun(1000, func() {
+		nilTr.SetQuery(1)
+		id := nilTr.Begin(ExecDiskWait, p, 10)
+		nilTr.End(id, 20)
+		nilTr.Instant(BufferHitMark, p, 20)
+	}); a != 0 {
+		t.Errorf("nil tracer: %v allocs/event batch", a)
+	}
+
+	tr := New()
+	tr.Reserve(4 * 1001)
+	tr.Stash(p, 0) // pre-size the one-entry stash
+	tr.TakeStash(p)
+	if a := testing.AllocsPerRun(1000, func() {
+		tr.SetQuery(1)
+		id := tr.Begin(PrefetchRead, p, 10)
+		tr.EndDetail(id, 20, DetailAbandoned)
+		tr.Stash(p, id)
+		tr.InstantLink(FallbackSyncMark, p, 20, tr.TakeStash(p))
+	}); a != 0 {
+		t.Errorf("enabled tracer: %v allocs/event batch", a)
+	}
+}
+
+// TestBuildReport drives a synthetic timeline through the aggregator and
+// checks the attribution arithmetic.
+func TestBuildReport(t *testing.T) {
+	tr := New()
+	tr.SetQuery(0)
+	q0 := tr.BeginLabel(QuerySpan, "alpha", storage.PageID{}, 0)
+	tr.Complete(InferWait, storage.PageID{}, 0, 500)
+	d0 := tr.Begin(ExecDiskWait, pg(1, 1), 500)
+	tr.Complete(ExecRetryWait, pg(1, 1), 1000, 1250)
+	tr.End(d0, 2000)
+	tr.Complete(ExecOSCopy, pg(1, 1), 2000, 2004)
+	pf := tr.Begin(PrefetchRead, pg(2, 9), 600)
+	tr.End(pf, 1600)
+	tr.Stash(pg(2, 9), pf)
+	tr.InstantLink(PrefetchHitMark, pg(2, 9), 2100, tr.TakeStash(pg(2, 9)))
+	tr.End(q0, 3000)
+
+	tr.SetQuery(1)
+	q1 := tr.BeginLabel(QuerySpan, "beta", storage.PageID{}, 0)
+	tr.Complete(ExecOSCopy, pg(1, 3), 100, 104)
+	tr.InstantLink(FallbackSyncMark, pg(2, 4), 300, NoSpan)
+	tr.End(q1, 400)
+
+	rep := BuildReport(tr.Spans())
+	if len(rep.Queries) != 2 {
+		t.Fatalf("queries = %d", len(rep.Queries))
+	}
+	a := rep.Queries[0]
+	if a.Label != "alpha" || a.Elapsed != 3000 || a.DiskBlocked != 1500 ||
+		a.RetryBackoff != 250 || a.OSCopy != 4 || a.PrefetchHidden != 1000 ||
+		a.Inference != 500 || a.DiskReads != 1 || a.OSCopies != 1 || a.PrefetchHits != 1 {
+		t.Errorf("q0 = %+v", a)
+	}
+	b := rep.Queries[1]
+	if b.Label != "beta" || b.Elapsed != 400 || b.OSCopy != 4 || b.Fallbacks != 1 || b.DiskReads != 0 {
+		t.Errorf("q1 = %+v", b)
+	}
+	if rep.Total.Elapsed != 3400 || rep.Total.DiskReads != 1 || rep.Total.OSCopies != 2 {
+		t.Errorf("total = %+v", rep.Total)
+	}
+
+	// Objects sorted by ID: 1 then 2.
+	if len(rep.Objects) != 2 || rep.Objects[0].Object != 1 || rep.Objects[1].Object != 2 {
+		t.Fatalf("objects = %+v", rep.Objects)
+	}
+	if o := rep.Objects[0]; o.DiskBlocked != 1500 || o.OSCopy != 8 || o.OSCopies != 2 {
+		t.Errorf("object 1 = %+v", o)
+	}
+	if o := rep.Objects[1]; o.PrefetchHidden != 1000 || o.PrefetchHits != 1 {
+		t.Errorf("object 2 = %+v", o)
+	}
+}
