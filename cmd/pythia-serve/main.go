@@ -56,6 +56,10 @@ func main() {
 		brkThreshold  = flag.Int("breaker-threshold", 5, "consecutive model errors that trip the circuit breaker (negative disables)")
 		brkCooldown   = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before half-opening")
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
+		cacheEntries  = flag.Int("cache-entries", 4096, "plan-fingerprint prediction cache capacity (negative disables)")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long a cache miss waits to coalesce with concurrent misses (negative disables)")
+		maxBatch      = flag.Int("max-batch", 16, "max requests coalesced into one batched forward pass")
+		quantize      = flag.Bool("quantize", false, "run int8-quantized inference (per-tensor symmetric weights; ~Jaccard 0.9 agreement with float32)")
 		faultPlan     = flag.String("fault-plan", "", "fault-injection plan for chaos drills, e.g. serve=0.2 (empty = none)")
 		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. localhost:6060 (empty = off)")
@@ -122,7 +126,19 @@ func main() {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		Fault:            inj,
+		CacheEntries:     *cacheEntries,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		Quantize:         *quantize,
 	})
+	defer srv.Close()
+	// Log the resolved effective options (after the zero=default /
+	// negative=disable convention is applied) so a deployment's actual
+	// protections and fast-path configuration are visible in its logs.
+	eff := srv.Options()
+	log.Printf("effective options: request-timeout=%s max-inflight=%d max-body=%d breaker-threshold=%d breaker-cooldown=%s cache-entries=%d batch-window=%s max-batch=%d quantize=%v",
+		eff.RequestTimeout, eff.MaxInFlight, eff.MaxBodyBytes, eff.BreakerThreshold,
+		eff.BreakerCooldown, eff.CacheEntries, eff.BatchWindow, eff.MaxBatch, eff.Quantize)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *pprofAddr != "" {

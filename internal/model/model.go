@@ -242,6 +242,60 @@ func (m *Model) Predict(tokenIDs []int) []storage.PageID {
 	return out
 }
 
+// PredictBatch runs inference for several token sequences in one pass. The
+// encoder handles each sequence independently (sequence lengths differ), but
+// the decoder — where a model's FLOPs live, via the wide per-page output
+// layer — sees all B representations as one B×Dim matrix, so its two
+// matmuls run at batch width. Each decoder output row is computed with the
+// same k-ascending accumulation order as the 1×Dim case, so results are
+// bitwise identical to calling Predict per sequence (asserted by
+// TestPredictBatchMatchesPredict).
+func (m *Model) PredictBatch(seqs [][]int) [][]storage.PageID {
+	out := make([][]storage.PageID, len(seqs))
+	if len(seqs) == 0 {
+		return out
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rt.Arena.Release()
+	// Encode per sequence, gathering the 1×Dim representations into a B×Dim
+	// matrix. reps is allocated before the encoder passes so the arena can
+	// recycle their scratch without touching it.
+	reps := m.rt.Arena.Get(len(seqs), m.cfg.Dim)
+	for i, ids := range seqs {
+		copy(reps.Row(i), m.enc.Forward(ids).Row(0))
+	}
+	logits := m.dec.Forward(reps)
+	for i := range seqs {
+		var pages []storage.PageID
+		for j, x := range logits.Row(i) {
+			if nn.Sigmoid(x) >= m.cfg.Threshold {
+				pages = append(pages, m.Labels[j])
+			}
+		}
+		out[i] = pages
+	}
+	return out
+}
+
+// Quantize switches the model's linear layers (attention projections, FFN,
+// and decoder) to the int8 inference path. Irreversible and inference-only:
+// Train on a quantized model panics in the first backward pass.
+func (m *Model) Quantize() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, l := range m.enc.Layers {
+		l.Attn.Wq.Quantize()
+		l.Attn.Wk.Quantize()
+		l.Attn.Wv.Quantize()
+		l.Attn.Wo.Quantize()
+		l.FF.L1.Quantize()
+		l.FF.L2.Quantize()
+	}
+	m.dec.L1.Quantize()
+	m.dec.L2.Quantize()
+}
+
 // Scores returns the per-label probabilities (diagnostics and tests).
 func (m *Model) Scores(tokenIDs []int) []float64 {
 	m.mu.Lock()

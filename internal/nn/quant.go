@@ -1,0 +1,179 @@
+package nn
+
+import "math"
+
+// Int8 quantization for the inference-only path. Training stays float64
+// end to end; after training, Linear.Quantize snapshots the weight matrix
+// into per-tensor symmetric int8 form and subsequent Forwards run the
+// int8×int8→int32 kernel below. The win on CPU is memory traffic: the
+// decoder's wide output layer reads 8× fewer bytes per forward, which is
+// what bounds a 1×hidden @ hidden×pages matmul.
+//
+// Scheme (per-tensor symmetric, zero-point 0):
+//
+//	scale  = max|w| / 127
+//	q(w)   = clamp(round(w / scale), -127, 127)
+//	y[i,j] = rowScale(x,i) · scale · Σ_r qx[i,r]·qw[r,j]    (+ float bias)
+//
+// Activations are quantized dynamically per row at each forward (their
+// range is input-dependent), weights once at Quantize time. The integer
+// accumulator is int32: |Σ| ≤ K·127² requires K ≤ ~133 000, far above any
+// layer width in this repo (dstCheck panics come first).
+//
+// Determinism: integer accumulation is exact, so the kernel's result is
+// independent of shard count by construction; the r-ascending loop order is
+// kept anyway to match the repo's kernel idiom.
+
+// qmax is the symmetric int8 quantization ceiling (the -128 slot is unused
+// so that the grid is symmetric around zero).
+const qmax = 127
+
+// QuantMat is a per-tensor symmetric int8 quantization of a K×N float64
+// weight matrix, stored TRANSPOSED (Q[j*K+r] holds W[r,j]): the inference
+// matmul walks one activation row and one weight column together, and the
+// transposed layout makes both contiguous.
+type QuantMat struct {
+	K, N  int
+	Q     []int8
+	Scale float64
+}
+
+// QuantizeMat quantizes a float64 matrix (per-tensor symmetric, transposed
+// storage). An all-zero matrix gets scale 1 so dequantization stays exact.
+func QuantizeMat(m *Mat) *QuantMat {
+	maxAbs := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := &QuantMat{K: m.Rows, N: m.Cols, Q: make([]int8, len(m.Data)), Scale: 1}
+	if maxAbs > 0 {
+		q.Scale = maxAbs / qmax
+	}
+	inv := 1 / q.Scale
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			q.Q[j*q.K+r] = clampQ8(math.Round(v * inv))
+		}
+	}
+	return q
+}
+
+// clampQ8 saturates a rounded value to the symmetric int8 grid.
+func clampQ8(v float64) int8 {
+	if v > qmax {
+		return qmax
+	}
+	if v < -qmax {
+		return -qmax
+	}
+	return int8(v)
+}
+
+// QuantizeRows quantizes each row of x symmetrically into q (len ≥
+// Rows×Cols) and writes the per-row scale into scales (len ≥ Rows). An
+// all-zero row gets scale 0, which zeroes its output row exactly.
+//
+//pythia:noalloc
+func QuantizeRows(x *Mat, q []int8, scales []float64) {
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		qrow := q[i*x.Cols : (i+1)*x.Cols]
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			scales[i] = 0
+			for j := range qrow {
+				qrow[j] = 0
+			}
+			continue
+		}
+		scale := maxAbs / qmax
+		scales[i] = scale
+		inv := 1 / scale
+		for j, v := range row {
+			qrow[j] = clampQ8(math.Round(v * inv))
+		}
+	}
+}
+
+// MatMulQ8Into computes dst = dequant(qa @ b): qa holds rows×b.K row-major
+// int8 activations with per-row scales, b is a quantized (transposed)
+// weight matrix. Each output element is one int32 dot product scaled back
+// to float64. Sharding follows MatMulInto: rows when there are enough to
+// feed the workers, columns for the single-row inference shape.
+func (p *Pool) MatMulQ8Into(dst *Mat, qa []int8, scaleA []float64, rows int, b *QuantMat) {
+	if len(qa) < rows*b.K || len(scaleA) < rows {
+		panic("nn: matmulQ8 activation buffer too small")
+	}
+	dstCheck(dst, rows, b.N, "matmulQ8")
+	work := rows * b.K * b.N
+	if p.serial(work) {
+		matMulQ8Block(dst, qa, scaleA, b, 0, rows, 0, b.N)
+		return
+	}
+	if rows >= p.Threads() || rows >= b.N {
+		p.shard(rows, work, func(lo, hi int) { matMulQ8Block(dst, qa, scaleA, b, lo, hi, 0, b.N) })
+	} else {
+		p.shard(b.N, work, func(lo, hi int) { matMulQ8Block(dst, qa, scaleA, b, 0, rows, lo, hi) })
+	}
+}
+
+// matMulQ8Block computes output rows [ilo, ihi) × columns [jlo, jhi). Both
+// the activation row and the (transposed) weight column are contiguous, so
+// the int32 dot product streams both operands.
+//
+//pythia:noalloc
+func matMulQ8Block(dst *Mat, qa []int8, scaleA []float64, b *QuantMat, ilo, ihi, jlo, jhi int) {
+	k := b.K
+	for i := ilo; i < ihi; i++ {
+		arow := qa[i*k : (i+1)*k]
+		orow := dst.Row(i)
+		s := scaleA[i] * b.Scale
+		// Four weight columns per pass share each activation load (the
+		// activation row is sign-extended once per four dot products).
+		// Integer addition is associative, so the regrouping is exact —
+		// results stay bitwise identical to the naive dot product.
+		j := jlo
+		for ; j+4 <= jhi; j += 4 {
+			b0 := b.Q[j*k : (j+1)*k]
+			b1 := b.Q[(j+1)*k : (j+2)*k]
+			b2 := b.Q[(j+2)*k : (j+3)*k]
+			b3 := b.Q[(j+3)*k : (j+4)*k]
+			var c0, c1, c2, c3 int32
+			for r, av := range arow {
+				a := int32(av)
+				c0 += a * int32(b0[r])
+				c1 += a * int32(b1[r])
+				c2 += a * int32(b2[r])
+				c3 += a * int32(b3[r])
+			}
+			orow[j] = float64(c0) * s
+			orow[j+1] = float64(c1) * s
+			orow[j+2] = float64(c2) * s
+			orow[j+3] = float64(c3) * s
+		}
+		for ; j < jhi; j++ {
+			brow := b.Q[j*k : (j+1)*k]
+			var acc int32
+			for r, av := range arow {
+				acc += int32(av) * int32(brow[r])
+			}
+			orow[j] = float64(acc) * s
+		}
+	}
+}
+
+// MatMulQ8 is the serial reference implementation the pool kernel is
+// golden-tested against.
+func MatMulQ8(qa []int8, scaleA []float64, rows int, b *QuantMat) *Mat {
+	out := NewMat(rows, b.N)
+	matMulQ8Block(out, qa, scaleA, b, 0, rows, 0, b.N)
+	return out
+}

@@ -133,6 +133,19 @@ const (
 	BreakerHalfOpen
 	// BreakerClosed: a trial request succeeded; the model path is restored.
 	BreakerClosed
+	// PredCacheHit: a prediction request was answered from the plan-
+	// fingerprint cache — zero inference ran.
+	PredCacheHit
+	// PredCacheMiss: the plan fingerprint was absent; inference ran.
+	PredCacheMiss
+	// PredCacheEvict: a cached prediction was evicted at capacity.
+	PredCacheEvict
+	// InferenceRun: one model-path inference completed for a request
+	// (whether it ran solo or inside a batch).
+	InferenceRun
+	// InferenceBatched: the inference ran as part of a multi-request batched
+	// forward pass (a strict subset of InferenceRun).
+	InferenceBatched
 
 	// KindCount is the number of event kinds; counter arrays are sized by
 	// it. It must remain last.
@@ -171,6 +184,11 @@ var kindNames = [KindCount]string{
 	BreakerOpen:           "breaker_open",
 	BreakerHalfOpen:       "breaker_half_open",
 	BreakerClosed:         "breaker_closed",
+	PredCacheHit:          "predcache_hit",
+	PredCacheMiss:         "predcache_miss",
+	PredCacheEvict:        "predcache_evict",
+	InferenceRun:          "inference_run",
+	InferenceBatched:      "inference_batched",
 }
 
 // String returns the kind's snake_case name (stable: it is the label

@@ -268,24 +268,45 @@ func relevantObjects(root *plan.Node) map[storage.ObjectID]bool {
 	return out
 }
 
-// Predict runs Algorithm 3's prediction step: serialize the plan once, feed
-// it to every model covering an object the plan scans non-sequentially, and
-// return the union of predicted pages in file-storage order.
-func (p *Predictor) Predict(root *plan.Node) []storage.PageID {
-	return p.predict(root, false)
+// EncodePlan serializes a plan and encodes it against the frozen vocabulary
+// — the token-ID sequence every inference path (single, batched, and the
+// serve tier's cache fingerprint) starts from.
+func (p *Predictor) EncodePlan(root *plan.Node) []int {
+	return p.vocab.Encode(serialize.Serialize(root, p.serCfg))
 }
 
-// PredictParallel is Predict with concurrent model inference.
-func (p *Predictor) PredictParallel(root *plan.Node) []storage.PageID {
-	return p.predict(root, true)
+// FNV-64a parameters (hash/fnv spelled out so the hot path hashes a []int
+// without converting to bytes or allocating a hash.Hash64).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint hashes a token-ID sequence with FNV-64a, one byte per octet
+// of each ID (little-endian). Equal sequences — identical serialized plans
+// — collide by construction; the serve tier keys its prediction cache on
+// this value.
+//
+//pythia:noalloc
+func Fingerprint(ids []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		v := uint64(id)
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= fnvPrime64
+		}
+	}
+	return h
 }
 
-func (p *Predictor) predict(root *plan.Node, parallel bool) []storage.PageID {
-	ids := p.vocab.Encode(serialize.Serialize(root, p.serCfg))
+// planModels returns the models relevant to the plan — every model covering
+// an object the plan scans non-sequentially — plus the relevant-object set
+// used to filter combined models' predictions. Walk the relevant objects in
+// ID order so the model list (and with it any parallel-inference work
+// assignment) never depends on map order.
+func (p *Predictor) planModels(root *plan.Node) ([]*model.Model, map[storage.ObjectID]bool) {
 	relevant := relevantObjects(root)
-	// A model participates if any object it covers is relevant to the plan.
-	// Walk the relevant objects in ID order so the model list (and with it
-	// the parallel-inference work assignment) never depends on map order.
 	objs := make([]storage.ObjectID, 0, len(relevant))
 	for id := range relevant {
 		objs = append(objs, id)
@@ -301,6 +322,42 @@ func (p *Predictor) predict(root *plan.Node, parallel bool) []storage.PageID {
 			}
 		}
 	}
+	return ms, relevant
+}
+
+// collect filters one model's predictions to relevant objects, merges into
+// out, and returns it; callers sort+dedupe once at the end.
+func collect(out []storage.PageID, pred []storage.PageID, relevant map[storage.ObjectID]bool) []storage.PageID {
+	for _, page := range pred {
+		if relevant[page.Object] {
+			out = append(out, page)
+		}
+	}
+	return out
+}
+
+// Quantize switches every model to int8 inference (see model.Quantize).
+func (p *Predictor) Quantize() {
+	for _, m := range p.models {
+		m.Quantize()
+	}
+}
+
+// Predict runs Algorithm 3's prediction step: serialize the plan once, feed
+// it to every model covering an object the plan scans non-sequentially, and
+// return the union of predicted pages in file-storage order.
+func (p *Predictor) Predict(root *plan.Node) []storage.PageID {
+	return p.predict(root, false)
+}
+
+// PredictParallel is Predict with concurrent model inference.
+func (p *Predictor) PredictParallel(root *plan.Node) []storage.PageID {
+	return p.predict(root, true)
+}
+
+func (p *Predictor) predict(root *plan.Node, parallel bool) []storage.PageID {
+	ids := p.EncodePlan(root)
+	ms, relevant := p.planModels(root)
 	preds := make([][]storage.PageID, len(ms))
 	if parallel {
 		var wg sync.WaitGroup
@@ -321,14 +378,73 @@ func (p *Predictor) predict(root *plan.Node, parallel bool) []storage.PageID {
 	for _, pr := range preds {
 		// Keep only pages of relevant objects (a combined model may cover
 		// an object the plan does not touch).
-		for _, page := range pr {
-			if relevant[page.Object] {
-				out = append(out, page)
-			}
-		}
+		out = collect(out, pr, relevant)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return dedupe(out)
+}
+
+// PredictBatch runs PredictParallel for several plans at once, sharing
+// model forward passes: plans are grouped by the models they need, and each
+// model sees its group's sequences as one batched decoder pass
+// (model.PredictBatch). Per-plan results are identical to PredictParallel —
+// the batched decoder is bitwise-equal to the single-row one — so the serve
+// tier's micro-batcher can use this without changing any response.
+func (p *Predictor) PredictBatch(roots []*plan.Node) [][]storage.PageID {
+	out := make([][]storage.PageID, len(roots))
+	if len(roots) == 0 {
+		return out
+	}
+	type planInfo struct {
+		ids      []int
+		relevant map[storage.ObjectID]bool
+	}
+	infos := make([]planInfo, len(roots))
+	// Group plan indices under each distinct model, keeping first-seen model
+	// order (deterministic: it follows plan order and the ID-ordered
+	// planModels walk).
+	groups := make(map[*model.Model][]int)
+	var order []*model.Model
+	for i, root := range roots {
+		ms, relevant := p.planModels(root)
+		infos[i] = planInfo{ids: p.EncodePlan(root), relevant: relevant}
+		for _, m := range ms {
+			if _, ok := groups[m]; !ok {
+				order = append(order, m)
+			}
+			groups[m] = append(groups[m], i)
+		}
+	}
+	// One batched pass per model, models in parallel (the same fan-out shape
+	// as PredictParallel; each model's mutex serializes nothing here because
+	// each appears once).
+	preds := make([][][]storage.PageID, len(order))
+	var wg sync.WaitGroup
+	for gi, m := range order {
+		wg.Add(1)
+		go func(gi int, m *model.Model) {
+			defer wg.Done()
+			idx := groups[m]
+			seqs := make([][]int, len(idx))
+			for k, pi := range idx {
+				seqs[k] = infos[pi].ids
+			}
+			preds[gi] = m.PredictBatch(seqs)
+		}(gi, m)
+	}
+	wg.Wait()
+	// Scatter: union each plan's model outputs, filter, sort, dedupe.
+	for gi, m := range order {
+		for k, pi := range groups[m] {
+			out[pi] = collect(out[pi], preds[gi][k], infos[pi].relevant)
+		}
+	}
+	for i := range out {
+		pr := out[i]
+		sort.Slice(pr, func(a, b int) bool { return pr[a].Less(pr[b]) })
+		out[i] = dedupe(pr)
+	}
+	return out
 }
 
 func dedupe(pages []storage.PageID) []storage.PageID {

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/plan"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// batcher coalesces concurrent prediction-cache misses into batched forward
+// passes. A miss that arrives while another miss is already inferring
+// enqueues here instead of running its own pass; the collector goroutine
+// gathers requests until either MaxBatch are waiting or the batch window
+// elapses, then runs one batched inference per workload
+// (predictor.PredictBatch — the decoder's matmuls at batch width, which the
+// destination-passing kernels shard across the same worker pool a single
+// wide request would use).
+//
+// The handler only routes to the batcher when other misses are in flight
+// (see handlePredict), so an idle server never pays the window: single
+// requests keep their direct-path p50.
+type batchReq struct {
+	tw   *corepythia.Trained
+	root *plan.Node
+	// res receives the raw (pre-LimitPrefetch) prediction exactly once.
+	// Buffered so a dispatch never blocks on a handler that gave up (timeout
+	// or client disconnect).
+	res chan batchRes
+}
+
+// batchRes is one request's slice of a batched pass.
+type batchRes struct {
+	pages []storage.PageID
+	// size is the number of requests that shared this workload's batched
+	// pass (1 = the request ran alone after all).
+	size int
+}
+
+type batcher struct {
+	ch   chan batchReq
+	stop chan struct{}
+	done chan struct{}
+
+	window   time.Duration
+	maxBatch int
+
+	// batches counts dispatched multi-request groups; batched counts
+	// requests that ran inside one (size > 1). Surfaced on /metrics.
+	batches atomic.Uint64
+	batched atomic.Uint64
+}
+
+func newBatcher(window time.Duration, maxBatch int) *batcher {
+	b := &batcher{
+		ch:       make(chan batchReq),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		window:   window,
+		maxBatch: maxBatch,
+	}
+	go b.run()
+	return b
+}
+
+// enqueue offers a request to the collector. It returns false when the
+// batcher has been closed — the caller falls back to the direct path.
+//
+//pythia:noalloc
+func (b *batcher) enqueue(r batchReq) bool {
+	select {
+	case b.ch <- r:
+		return true
+	case <-b.stop:
+		return false
+	}
+}
+
+// close stops the collector; in-flight batches still complete. Idempotent
+// via Server.Close's once.
+func (b *batcher) close() {
+	close(b.stop)
+	<-b.done
+}
+
+// run is the collector loop: block for the first request, then gather until
+// the window elapses or the batch is full, then dispatch and go around.
+func (b *batcher) run() {
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first batchReq
+		select {
+		case first = <-b.ch:
+		case <-b.stop:
+			return
+		}
+		batch := append(make([]batchReq, 0, b.maxBatch), first)
+		timer.Reset(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.ch:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.dispatch(batch)
+	}
+}
+
+// dispatch groups the batch by workload and runs one batched inference per
+// group, each in its own goroutine so the collector is immediately free to
+// gather the next batch.
+func (b *batcher) dispatch(batch []batchReq) {
+	// Group requests by trained workload, preserving arrival order.
+	groups := make(map[*corepythia.Trained][]batchReq, 1)
+	var order []*corepythia.Trained
+	for _, r := range batch {
+		if _, ok := groups[r.tw]; !ok {
+			order = append(order, r.tw)
+		}
+		groups[r.tw] = append(groups[r.tw], r)
+	}
+	for _, tw := range order {
+		g := groups[tw]
+		if len(g) > 1 {
+			b.batches.Add(1)
+			b.batched.Add(uint64(len(g)))
+		}
+		go func(tw *corepythia.Trained, g []batchReq) {
+			roots := make([]*plan.Node, len(g))
+			for i, r := range g {
+				roots[i] = r.root
+			}
+			preds := tw.Pred.PredictBatch(roots)
+			for i, r := range g {
+				r.res <- batchRes{pages: preds[i], size: len(g)}
+			}
+		}(tw, g)
+	}
+}

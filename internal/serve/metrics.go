@@ -156,6 +156,20 @@ func (m *Metrics) observePrediction(pages int, fallback bool) {
 	m.predictedPages.Add(uint64(pages))
 }
 
+// markCache stamps a cache-hit or cache-miss instant mark onto the span
+// trace at the current clock, attributed to the predict endpoint. One
+// nil-check when no tracer is attached.
+func (m *Metrics) markCache(hit bool) {
+	if m.tracer == nil {
+		return
+	}
+	kind := span.PredCacheMissMark
+	if hit {
+		kind = span.PredCacheHitMark
+	}
+	m.tracer.Instant(kind, "predict", span.NoQuery, sim.Time(m.now().Sub(m.start)))
+}
+
 // requestRow is one (endpoint, code, count) cell in snapshot order.
 type requestRow struct {
 	Endpoint string `json:"endpoint"`

@@ -84,6 +84,42 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_inference_timeouts_total counter")
 	fmt.Fprintf(w, "pythia_inference_timeouts_total %d\n", m.timeouts.Load())
 
+	// Inference fast path. The families render whether or not the cache and
+	// batcher are enabled (zeros when disabled) so the exposition shape is
+	// independent of configuration.
+	var pcHits, pcMisses, pcEvicts uint64
+	var pcEntries, pcCap int
+	if s.cache != nil {
+		pcHits, pcMisses, pcEvicts = s.cache.hits.Load(), s.cache.misses.Load(), s.cache.evictions.Load()
+		pcEntries, pcCap = s.cache.len(), s.cache.capacity()
+	}
+	fmt.Fprintln(w, "# HELP pythia_predcache_hits_total Prediction-cache hits (requests answered with zero inference).")
+	fmt.Fprintln(w, "# TYPE pythia_predcache_hits_total counter")
+	fmt.Fprintf(w, "pythia_predcache_hits_total %d\n", pcHits)
+	fmt.Fprintln(w, "# HELP pythia_predcache_misses_total Prediction-cache misses (inference ran).")
+	fmt.Fprintln(w, "# TYPE pythia_predcache_misses_total counter")
+	fmt.Fprintf(w, "pythia_predcache_misses_total %d\n", pcMisses)
+	fmt.Fprintln(w, "# HELP pythia_predcache_evictions_total Prediction-cache evictions at capacity.")
+	fmt.Fprintln(w, "# TYPE pythia_predcache_evictions_total counter")
+	fmt.Fprintf(w, "pythia_predcache_evictions_total %d\n", pcEvicts)
+	fmt.Fprintln(w, "# HELP pythia_predcache_entries Prediction-cache resident entries.")
+	fmt.Fprintln(w, "# TYPE pythia_predcache_entries gauge")
+	fmt.Fprintf(w, "pythia_predcache_entries %d\n", pcEntries)
+	fmt.Fprintln(w, "# HELP pythia_predcache_capacity Prediction-cache entry bound (0 = caching disabled).")
+	fmt.Fprintln(w, "# TYPE pythia_predcache_capacity gauge")
+	fmt.Fprintf(w, "pythia_predcache_capacity %d\n", pcCap)
+
+	var batches, batched uint64
+	if s.batcher != nil {
+		batches, batched = s.batcher.batches.Load(), s.batcher.batched.Load()
+	}
+	fmt.Fprintln(w, "# HELP pythia_inference_batches_total Multi-request batched forward passes dispatched.")
+	fmt.Fprintln(w, "# TYPE pythia_inference_batches_total counter")
+	fmt.Fprintf(w, "pythia_inference_batches_total %d\n", batches)
+	fmt.Fprintln(w, "# HELP pythia_batched_requests_total Requests served inside a multi-request batch.")
+	fmt.Fprintln(w, "# TYPE pythia_batched_requests_total counter")
+	fmt.Fprintf(w, "pythia_batched_requests_total %d\n", batched)
+
 	fmt.Fprintln(w, "# HELP pythia_breaker_state Circuit breaker state (0=closed, 1=half_open, 2=open).")
 	fmt.Fprintln(w, "# TYPE pythia_breaker_state gauge")
 	fmt.Fprintf(w, "pythia_breaker_state %d\n", s.breaker.stateValue())

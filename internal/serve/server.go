@@ -91,6 +91,23 @@ type Options struct {
 	// Serve site — the deterministic chaos hook the breaker tests and drills
 	// run against.
 	Fault *fault.Injector
+	// CacheEntries bounds the plan-fingerprint prediction cache; identical
+	// plans answer from it without running inference. Default 4096 entries;
+	// negative disables caching.
+	CacheEntries int
+	// BatchWindow is how long a cache miss waits to coalesce with other
+	// concurrent misses into one batched forward pass. Only misses that
+	// arrive while another miss is in flight wait at all — an idle server
+	// always takes the direct path. Default 2ms; negative disables
+	// micro-batching.
+	BatchWindow time.Duration
+	// MaxBatch caps how many misses coalesce into one batched pass; a full
+	// batch dispatches before the window elapses. Default 16.
+	MaxBatch int
+	// Quantize switches every trained model to int8 inference at server
+	// construction (per-tensor symmetric weights; see nn.QuantizeMat).
+	// Irreversible for the process lifetime of the models.
+	Quantize bool
 }
 
 // withDefaults resolves the zero/negative convention into effective values
@@ -122,6 +139,19 @@ func (o Options) withDefaults() Options {
 	case o.BreakerThreshold < 0:
 		o.BreakerThreshold = 0
 	}
+	o.BatchWindow = def(o.BatchWindow, 2*time.Millisecond)
+	switch {
+	case o.CacheEntries == 0:
+		o.CacheEntries = 4096
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0
+	}
+	switch {
+	case o.MaxBatch == 0:
+		o.MaxBatch = 16
+	case o.MaxBatch < 1:
+		o.MaxBatch = 1
+	}
 	return o
 }
 
@@ -133,9 +163,20 @@ type Server struct {
 	opts    Options
 	breaker *breaker
 
-	inflight atomic.Int64
-	draining atomic.Bool
-	faultMu  sync.Mutex // fault.Injector is not synchronized
+	// cache and batcher are the inference fast path: identical plans answer
+	// from cache (stage 1), concurrent distinct misses coalesce into batched
+	// forward passes (stage 2). Either may be nil when disabled.
+	cache   *predCache
+	batcher *batcher
+	// missInflight counts requests currently on the miss (inference) path;
+	// a miss only routes to the batcher when others are already inferring,
+	// so an idle server's p50 never pays the batch window.
+	missInflight atomic.Int64
+
+	inflight  atomic.Int64
+	draining  atomic.Bool
+	faultMu   sync.Mutex // fault.Injector is not synchronized
+	closeOnce sync.Once
 }
 
 // New assembles a server over a database and its trained system. A nil
@@ -148,11 +189,36 @@ func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Op
 		metrics = NewMetrics(nil)
 	}
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		db: db, sys: sys, metrics: metrics, opts: opts,
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
 	}
+	if opts.CacheEntries > 0 {
+		s.cache = newPredCache(opts.CacheEntries, metrics.Events())
+	}
+	if opts.BatchWindow > 0 && opts.MaxBatch > 1 {
+		s.batcher = newBatcher(opts.BatchWindow, opts.MaxBatch)
+	}
+	if opts.Quantize {
+		for _, tw := range sys.Workloads() {
+			tw.Pred.Quantize()
+		}
+	}
+	return s
 }
+
+// Close stops the micro-batching collector (requests keep working on the
+// direct path afterwards). Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.batcher != nil {
+			s.batcher.close()
+		}
+	})
+}
+
+// Options returns the server's resolved effective options.
+func (s *Server) Options() Options { return s.opts }
 
 // SetDraining flips the server's draining flag: /v1/healthz answers 503 so
 // load balancers stop routing here while in-flight requests finish (the
@@ -251,6 +317,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 type predictResponse struct {
 	Workload  string     `json:"workload"`
 	Fallback  bool       `json:"fallback"`
+	Cached    bool       `json:"cached,omitempty"`   // answered from the prediction cache (zero inference)
 	Degraded  string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
 	Pages     []pageJSON `json:"pages"`
 	PageCount int        `json:"page_count"`
@@ -313,6 +380,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp := predictResponse{}
 	tw := s.sys.Match(q)
+
+	// Stage 1: prediction cache. Checked before the breaker and fault hooks —
+	// a hit performs zero inference and cannot fail, so cached plans keep
+	// answering even while the model path is degraded.
+	var fp uint64
+	cacheable := tw != nil && s.cache != nil
+	if cacheable {
+		fp = fingerprint(tw.Name, tw.Pred.EncodePlan(root))
+		if pages, hit := s.cache.get(fp); hit {
+			s.metrics.markCache(true)
+			resp.Workload = tw.Name
+			resp.Cached = true
+			s.writePages(&resp, pages)
+			resp.PageCount = len(resp.Pages)
+			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			s.metrics.observePrediction(resp.PageCount, false)
+			writeJSON(w, resp)
+			return
+		}
+		s.metrics.markCache(false)
+	}
+
 	if tw != nil && !s.breaker.allow() {
 		// Breaker open: answer from the fallback path without touching the
 		// model. The client still gets a well-formed (empty) prediction —
@@ -327,32 +416,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Workload = tw.Name
-		// Model inference is the slow step; run it off the handler
-		// goroutine so a disconnected client (or an expired budget) aborts
-		// the request instead of holding it to completion.
-		done := make(chan []storage.PageID, 1)
-		go func() { done <- s.sys.LimitPrefetch(tw.Pred.PredictParallel(root)) }()
-		var pages []storage.PageID
-		select {
-		case pages = <-done:
-			s.breaker.success()
-		case <-ctx.Done():
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				s.metrics.timeouts.Add(1)
-				s.breaker.failure()
-				writeError(w, http.StatusGatewayTimeout, CodeDeadline, "inference exceeded the request timeout")
-			} else {
-				writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
-			}
+		pages, ok := s.infer(ctx, w, tw, root)
+		if !ok {
 			return
 		}
-		for _, p := range pages {
-			name := fmt.Sprint(p.Object)
-			if obj := s.db.Registry.Lookup(p.Object); obj != nil {
-				name = obj.Name
-			}
-			resp.Pages = append(resp.Pages, pageJSON{Object: name, Page: uint32(p.Page)})
+		if cacheable {
+			// Only successful inferences populate the cache; faulted or
+			// timed-out requests never do, so the cache cannot serve poison.
+			s.cache.put(fp, pages)
 		}
+		s.writePages(&resp, pages)
 	} else {
 		resp.Fallback = true
 	}
@@ -360,6 +433,53 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.metrics.observePrediction(resp.PageCount, resp.Fallback)
 	writeJSON(w, resp)
+}
+
+// infer runs the miss (inference) path. Stage 2 routing: a miss that arrives
+// while other misses are in flight joins the micro-batcher; otherwise it
+// runs the single-plan inference directly, so an idle server never pays the
+// batch window. Either way the slow step runs off the handler goroutine so a
+// disconnected client (or an expired budget) aborts the wait, not the work.
+// On timeout or disconnect infer writes the error response itself and
+// reports ok=false.
+func (s *Server) infer(ctx context.Context, w http.ResponseWriter, tw *corepythia.Trained, root *plan.Node) (pages []storage.PageID, ok bool) {
+	n := s.missInflight.Add(1)
+	defer s.missInflight.Add(-1)
+	done := make(chan batchRes, 1)
+	if !(n > 1 && s.batcher != nil && s.batcher.enqueue(batchReq{tw: tw, root: root, res: done})) {
+		go func() { done <- batchRes{pages: tw.Pred.PredictParallel(root), size: 1} }()
+	}
+	select {
+	case res := <-done:
+		s.breaker.success()
+		if rec := s.metrics.Events(); rec != nil {
+			rec.Record(obs.Event{Kind: obs.InferenceRun})
+			if res.size > 1 {
+				rec.Record(obs.Event{Kind: obs.InferenceBatched})
+			}
+		}
+		return s.sys.LimitPrefetch(res.pages), true
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.metrics.timeouts.Add(1)
+			s.breaker.failure()
+			writeError(w, http.StatusGatewayTimeout, CodeDeadline, "inference exceeded the request timeout")
+		} else {
+			writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
+		}
+		return nil, false
+	}
+}
+
+// writePages resolves object names and appends the page set to the response.
+func (s *Server) writePages(resp *predictResponse, pages []storage.PageID) {
+	for _, p := range pages {
+		name := fmt.Sprint(p.Object)
+		if obj := s.db.Registry.Lookup(p.Object); obj != nil {
+			name = obj.Name
+		}
+		resp.Pages = append(resp.Pages, pageJSON{Object: name, Page: uint32(p.Page)})
+	}
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -437,6 +557,25 @@ type statsResponse struct {
 	Timeouts       uint64            `json:"inference_timeouts"`
 	BreakerState   string            `json:"breaker_state"`
 	Draining       bool              `json:"draining"`
+	PredCache      *predCacheStats   `json:"predcache,omitempty"`
+	Batching       *batchingStats    `json:"batching,omitempty"`
+}
+
+// predCacheStats is the /stats view of the prediction cache.
+type predCacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// batchingStats is the /stats view of the micro-batcher.
+type batchingStats struct {
+	WindowMS        float64 `json:"window_ms"`
+	MaxBatch        int     `json:"max_batch"`
+	Batches         uint64  `json:"batches"`
+	BatchedRequests uint64  `json:"batched_requests"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -465,6 +604,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if resp.Predictions > 0 {
 		resp.FallbackRate = float64(resp.Fallbacks) / float64(resp.Predictions)
 		resp.AvgSetSize = float64(resp.PredictedPages) / float64(resp.Predictions)
+	}
+	if s.cache != nil {
+		resp.PredCache = &predCacheStats{
+			Entries:   s.cache.len(),
+			Capacity:  s.cache.capacity(),
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Evictions: s.cache.evictions.Load(),
+		}
+	}
+	if s.batcher != nil {
+		resp.Batching = &batchingStats{
+			WindowMS:        float64(s.batcher.window.Microseconds()) / 1000,
+			MaxBatch:        s.batcher.maxBatch,
+			Batches:         s.batcher.batches.Load(),
+			BatchedRequests: s.batcher.batched.Load(),
+		}
 	}
 	writeJSON(w, resp)
 }

@@ -26,7 +26,7 @@ var (
 	fixtureW    *workload.Workload
 )
 
-func testServer(t *testing.T) (*Server, *workload.Workload) {
+func testServer(t testing.TB) (*Server, *workload.Workload) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		g := dsb.NewGenerator(dsb.Config{ScaleFactor: 8, Seed: 7})
@@ -50,7 +50,7 @@ func testServer(t *testing.T) (*Server, *workload.Workload) {
 	return fixtureSrv, fixtureW
 }
 
-func specBody(t *testing.T, qs spec.QuerySpec) *bytes.Buffer {
+func specBody(t testing.TB, qs spec.QuerySpec) *bytes.Buffer {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := qs.Encode(&buf); err != nil {

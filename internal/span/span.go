@@ -92,6 +92,10 @@ const (
 	OSCacheHitMark
 	OSCacheMissMark
 	OSCacheEvictMark
+	// PredCacheHitMark / PredCacheMissMark annotate serving-tier prediction
+	// cache outcomes: a hit means the request skipped inference entirely.
+	PredCacheHitMark
+	PredCacheMissMark
 
 	// KindCount is the number of span kinds; it must remain last.
 	KindCount
@@ -117,6 +121,8 @@ var kindNames = [KindCount]string{
 	OSCacheHitMark:     "oscache_hit",
 	OSCacheMissMark:    "oscache_miss",
 	OSCacheEvictMark:   "oscache_evict",
+	PredCacheHitMark:   "predcache_hit",
+	PredCacheMissMark:  "predcache_miss",
 }
 
 // String returns the kind's snake_case name (stable: it is the event name
@@ -396,6 +402,19 @@ func (s *Sync) CompleteLabel(k Kind, label string, q int32, detail uint32, start
 	}
 	s.mu.Lock()
 	s.tr.CompleteLabel(k, label, q, detail, start, end)
+	s.mu.Unlock()
+}
+
+// Instant records one zero-duration mark with an explicit label and query
+// under the lock — the serving tier's shape for cache-outcome marks.
+//
+//pythia:noalloc
+func (s *Sync) Instant(k Kind, label string, q int32, at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tr.push(Span{Kind: k, Query: q, Start: at, End: at, Link: NoSpan, Label: label})
 	s.mu.Unlock()
 }
 
