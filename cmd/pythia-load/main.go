@@ -1,0 +1,488 @@
+// Command pythia-load is a closed-loop load generator for the pythia-serve
+// HTTP surface. It drives POST /v1/predict at a fixed concurrency (and,
+// optionally, a paced QPS target) over a corpus of planned DSB queries with a
+// configurable hot-set repeat ratio — the knob that moves the server between
+// cache-hit-heavy steady state and cache-miss-heavy inference load — and
+// reports per-route latency quantiles, error/shed/breaker counts, and the
+// server's own cache statistics as BENCH_load.json.
+//
+// Two modes:
+//
+//   - Self-hosted (default): trains a model once, builds the serving stack
+//     in-process for each -sweep replica count, and serves it over a real
+//     loopback TCP listener — the whole HTTP path is on the clock. This is
+//     how the replica-scaling numbers in BENCH_load.json are produced:
+//
+//     pythia-load -sf 4 -n 24 -sweep 1,4 -concurrency 16 -duration 10s
+//
+//   - Remote (-target): drives an already-running pythia-serve; the corpus
+//     is built from the same -templates/-sf/-seed flags, which must match
+//     the server's or every request falls back.
+//
+//     pythia-load -target http://localhost:8080 -duration 30s -qps 200
+//
+// With -swap-at F (self-hosted mode), the harness saves a model snapshot
+// before the run and POSTs /v1/admin/reload at fraction F of -duration,
+// measuring the zero-downtime claim under its own sustained load: the run
+// fails if any request around the swap answers non-2xx.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/obs"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/serve"
+	"github.com/pythia-db/pythia/internal/spec"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of a running pythia-serve (empty = self-hosted)")
+		templates   = flag.String("templates", "t91", "comma-separated DSB templates for the corpus")
+		sf          = flag.Int("sf", 4, "scale factor")
+		n           = flag.Int("n", 24, "corpus instances per template")
+		seed        = flag.Uint64("seed", 7, "seed")
+		threads     = flag.Int("threads", 1, "nn kernel worker shards per model in self-hosted mode")
+		sweep       = flag.String("sweep", "1", "comma-separated replica counts to benchmark in self-hosted mode, e.g. 1,4")
+		cacheFlag   = flag.Int("cache-entries", 0, "serve cache capacity in self-hosted mode (0 = default, negative disables)")
+		qps         = flag.Float64("qps", 0, "paced request rate across all workers (0 = closed-loop unthrottled)")
+		concurrency = flag.Int("concurrency", 8, "concurrent closed-loop workers")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration per sweep point")
+		repeat      = flag.Float64("repeat", 0, "probability a request re-sends a hot-set plan (0 = uniform over the corpus, i.e. cache-miss-heavy)")
+		hotSet      = flag.Int("hot-set", 4, "distinct plans in the hot set -repeat draws from")
+		swapAt      = flag.Float64("swap-at", 0, "fraction of -duration after which to POST /v1/admin/reload (0 = no swap; self-hosted mode)")
+		out         = flag.String("out", "BENCH_load.json", "report path")
+		allowErrors = flag.Bool("allow-errors", false, "exit 0 even if some requests answered non-2xx")
+	)
+	flag.Parse()
+
+	sweepCounts, err := parseSweep(*sweep)
+	if err != nil {
+		log.Fatalf("pythia-load: -sweep: %v", err)
+	}
+	if *target != "" && (len(sweepCounts) != 1 || sweepCounts[0] != 1) {
+		log.Fatal("pythia-load: -sweep needs self-hosted mode (-target drives one fixed server)")
+	}
+	if *target != "" && *swapAt > 0 {
+		log.Fatal("pythia-load: -swap-at needs self-hosted mode (it must save a snapshot to swap to)")
+	}
+
+	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
+	corpus := buildCorpus(gen, *templates, *n, *seed)
+	log.Printf("corpus: %d requests across %s", len(corpus), *templates)
+
+	var sys *corepythia.System
+	if *target == "" {
+		sys = trainSystem(gen, *templates, *n, *seed, *threads)
+	}
+
+	report := loadReport{
+		Benchmark:   "pythia-load",
+		Templates:   *templates,
+		Corpus:      len(corpus),
+		Concurrency: *concurrency,
+		QPS:         *qps,
+		Repeat:      *repeat,
+		DurationSec: duration.Seconds(),
+	}
+	failed := false
+	for _, replicas := range sweepCounts {
+		res, err := runPoint(pointConfig{
+			target: *target, gen: gen, sys: sys, replicas: replicas,
+			cacheEntries: *cacheFlag, corpus: corpus, qps: *qps,
+			concurrency: *concurrency, duration: *duration,
+			repeat: *repeat, hotSet: *hotSet, swapAt: *swapAt, seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("pythia-load: replicas=%d: %v", replicas, err)
+		}
+		report.Results = append(report.Results, res)
+		log.Printf("replicas=%d: %.0f req/s, p50=%.2fms p95=%.2fms p99=%.2fms, errors=%d shed=%d, cache-hit-rate=%.2f",
+			replicas, res.ThroughputRPS, res.P50MS, res.P95MS, res.P99MS, res.Errors, res.Shed, res.CacheHitRate)
+		if res.Errors > 0 {
+			failed = true
+		}
+	}
+	if len(report.Results) > 1 {
+		base := report.Results[0].ThroughputRPS
+		if base > 0 {
+			last := report.Results[len(report.Results)-1]
+			report.SpeedupThroughput = last.ThroughputRPS / base
+			log.Printf("throughput %dx replicas vs %dx: %.2fx",
+				report.Results[len(report.Results)-1].Replicas, report.Results[0].Replicas, report.SpeedupThroughput)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("pythia-load: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("pythia-load: %v", err)
+	}
+	log.Printf("wrote %s", *out)
+	if failed && !*allowErrors {
+		log.Fatal("pythia-load: some requests answered non-2xx (pass -allow-errors to tolerate)")
+	}
+}
+
+// loadReport is the whole BENCH_load.json document.
+type loadReport struct {
+	Benchmark         string       `json:"benchmark"`
+	Templates         string       `json:"templates"`
+	Corpus            int          `json:"corpus_requests"`
+	Concurrency       int          `json:"concurrency"`
+	QPS               float64      `json:"qps_target"`
+	Repeat            float64      `json:"repeat_ratio"`
+	DurationSec       float64      `json:"duration_seconds"`
+	Results           []loadResult `json:"results"`
+	SpeedupThroughput float64      `json:"speedup_throughput,omitempty"`
+}
+
+// loadResult is one sweep point's row.
+type loadResult struct {
+	Replicas      int               `json:"replicas"`
+	Requests      uint64            `json:"requests"`
+	Errors        uint64            `json:"errors"`
+	Seconds       float64           `json:"seconds"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	P50MS         float64           `json:"p50_ms"`
+	P95MS         float64           `json:"p95_ms"`
+	P99MS         float64           `json:"p99_ms"`
+	StatusCounts  map[string]uint64 `json:"status_counts"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	CacheHits     uint64            `json:"cache_hits"`
+	CacheMisses   uint64            `json:"cache_misses"`
+	Shed          uint64            `json:"requests_shed"`
+	Timeouts      uint64            `json:"inference_timeouts"`
+	BreakerState  string            `json:"breaker_state"`
+	Generation    uint64            `json:"generation"`
+	Swaps         uint64            `json:"swaps"`
+	SwapMS        float64           `json:"swap_ms,omitempty"`
+}
+
+type pointConfig struct {
+	target       string
+	gen          *dsb.Generator
+	sys          *corepythia.System
+	replicas     int
+	cacheEntries int
+	corpus       [][]byte
+	qps          float64
+	concurrency  int
+	duration     time.Duration
+	repeat       float64
+	hotSet       int
+	swapAt       float64
+	seed         uint64
+}
+
+// latencyBounds is denser than the serve-side request histogram so p99
+// interpolation in the sub-millisecond to tens-of-milliseconds range stays
+// sharp.
+func latencyBounds() []time.Duration {
+	var bounds []time.Duration
+	for _, ms := range []float64{0.1, 0.2, 0.5, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100, 200, 500, 1000, 2000, 5000} {
+		bounds = append(bounds, time.Duration(ms*float64(time.Millisecond)))
+	}
+	return bounds
+}
+
+// runPoint drives one sweep point: build (or point at) a server, run the
+// closed loop for the duration, scrape /stats, and assemble the row.
+func runPoint(pc pointConfig) (loadResult, error) {
+	res := loadResult{Replicas: pc.replicas, StatusCounts: map[string]uint64{}}
+	base := pc.target
+	var snapPath string
+	if pc.target == "" {
+		srv, err := serve.New(pc.gen.DB(), pc.sys, serve.NewMetrics(nil), serve.Options{
+			Replicas:     pc.replicas,
+			CacheEntries: pc.cacheEntries,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		if pc.swapAt > 0 {
+			f, err := os.CreateTemp("", "pythia-load-snap-*.bin")
+			if err != nil {
+				return res, err
+			}
+			snapPath = f.Name()
+			defer os.Remove(snapPath)
+			if err := pc.sys.Save(f); err != nil {
+				f.Close()
+				return res, err
+			}
+			if err := f.Close(); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := base + "/v1/predict"
+	hist := obs.NewHistogram(latencyBounds())
+	var (
+		requests, errCount atomic.Uint64
+		statusMu           sync.Mutex
+	)
+	interval := time.Duration(0)
+	if pc.qps > 0 {
+		interval = time.Duration(float64(time.Second) / pc.qps)
+	}
+	hot := pc.hotSet
+	if hot < 1 || hot > len(pc.corpus) {
+		hot = len(pc.corpus)
+	}
+
+	start := time.Now()
+	deadline := start.Add(pc.duration)
+	var slot atomic.Int64 // global pacing slot counter for the QPS target
+	var wg sync.WaitGroup
+	for g := 0; g < pc.concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-worker PRNG: fixed seed so corpora draws are reproducible,
+			// offset so workers don't lockstep on the same plans.
+			rng := rand.New(rand.NewSource(int64(pc.seed) + int64(g)*7919))
+			for time.Now().Before(deadline) {
+				if interval > 0 {
+					// Paced mode: the next global slot's fire time.
+					mine := slot.Add(1) - 1
+					at := start.Add(time.Duration(mine) * interval)
+					if wait := time.Until(at); wait > 0 {
+						time.Sleep(wait)
+					}
+					if !time.Now().Before(deadline) {
+						return
+					}
+				}
+				var body []byte
+				if pc.repeat > 0 && rng.Float64() < pc.repeat {
+					body = pc.corpus[rng.Intn(hot)]
+				} else {
+					body = pc.corpus[rng.Intn(len(pc.corpus))]
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				requests.Add(1)
+				if err != nil {
+					errCount.Add(1)
+					statusMu.Lock()
+					res.StatusCounts["transport_error"]++
+					statusMu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hist.Observe(time.Since(t0))
+				statusMu.Lock()
+				res.StatusCounts[strconv.Itoa(resp.StatusCode)]++
+				statusMu.Unlock()
+				if resp.StatusCode < 200 || resp.StatusCode > 299 {
+					errCount.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	if pc.swapAt > 0 && snapPath != "" {
+		swapDelay := time.Duration(float64(pc.duration) * pc.swapAt)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(swapDelay)
+			t0 := time.Now()
+			if err := postReload(client, base, snapPath); err != nil {
+				errCount.Add(1)
+				statusMu.Lock()
+				res.StatusCounts["reload_error"]++
+				statusMu.Unlock()
+				log.Printf("mid-run reload failed: %v", err)
+				return
+			}
+			swapMS := float64(time.Since(t0).Microseconds()) / 1000
+			statusMu.Lock()
+			res.SwapMS = swapMS
+			statusMu.Unlock()
+			log.Printf("mid-run model swap completed in %.1fms", swapMS)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Requests = requests.Load()
+	res.Errors = errCount.Load()
+	res.Seconds = elapsed.Seconds()
+	if res.Seconds > 0 {
+		res.ThroughputRPS = float64(res.Requests) / res.Seconds
+	}
+	res.P50MS = float64(hist.Quantile(0.50).Microseconds()) / 1000
+	res.P95MS = float64(hist.Quantile(0.95).Microseconds()) / 1000
+	res.P99MS = float64(hist.Quantile(0.99).Microseconds()) / 1000
+	if err := scrapeStats(client, base, &res); err != nil {
+		log.Printf("stats scrape failed (report row incomplete): %v", err)
+	}
+	return res, nil
+}
+
+// postReload POSTs the admin reload endpoint with an explicit snapshot path.
+func postReload(client *http.Client, base, snapPath string) error {
+	body, err := json.Marshal(map[string]string{"path": snapPath})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/admin/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("reload status %d: %s", resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// scrapeStats folds the server's own /stats accounting into the result row:
+// cache hit rate, sheds, timeouts, breaker state, and swap/generation counts.
+func scrapeStats(client *http.Client, base string, res *loadResult) error {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	var st struct {
+		Shed         uint64 `json:"requests_shed"`
+		Timeouts     uint64 `json:"inference_timeouts"`
+		BreakerState string `json:"breaker_state"`
+		Generation   uint64 `json:"generation"`
+		Swaps        uint64 `json:"swaps"`
+		PredCache    *struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"predcache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	res.Shed = st.Shed
+	res.Timeouts = st.Timeouts
+	res.BreakerState = st.BreakerState
+	res.Generation = st.Generation
+	res.Swaps = st.Swaps
+	if st.PredCache != nil {
+		res.CacheHits = st.PredCache.Hits
+		res.CacheMisses = st.PredCache.Misses
+		if total := st.PredCache.Hits + st.PredCache.Misses; total > 0 {
+			res.CacheHitRate = float64(st.PredCache.Hits) / float64(total)
+		}
+	}
+	return nil
+}
+
+// buildCorpus encodes every workload instance's QuerySpec once up front so
+// the load loop does zero encoding work.
+func buildCorpus(gen *dsb.Generator, templates string, n int, seed uint64) [][]byte {
+	var corpus [][]byte
+	for _, tpl := range strings.Split(templates, ",") {
+		tpl = strings.TrimSpace(tpl)
+		if tpl == "" {
+			continue
+		}
+		w := gen.Workload(tpl, n, seed+1)
+		for _, inst := range w.Instances {
+			var buf bytes.Buffer
+			if err := spec.FromQuery(inst.Query).Encode(&buf); err != nil {
+				log.Fatalf("pythia-load: encoding corpus: %v", err)
+			}
+			corpus = append(corpus, buf.Bytes())
+		}
+	}
+	if len(corpus) == 0 {
+		log.Fatal("pythia-load: empty corpus")
+	}
+	return corpus
+}
+
+// trainSystem trains the self-hosted serving models, mirroring pythia-serve's
+// training loop with the same flags so remote corpora stay compatible.
+func trainSystem(gen *dsb.Generator, templates string, n int, seed uint64, threads int) *corepythia.System {
+	cfg := corepythia.DefaultConfig()
+	cfg.Predictor.Model.Threads = threads
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		log.Fatalf("pythia-load: %v", err)
+	}
+	sys := corepythia.New(gen.DB(), cfg)
+	for _, tpl := range strings.Split(templates, ",") {
+		tpl = strings.TrimSpace(tpl)
+		if tpl == "" {
+			continue
+		}
+		log.Printf("training %s (%d instances)...", tpl, n)
+		start := time.Now()
+		w := gen.Workload(tpl, n, seed+1)
+		sys.Train(tpl, w.Instances)
+		log.Printf("trained %s in %s", tpl, time.Since(start).Round(time.Millisecond))
+	}
+	return sys
+}
+
+// parseSweep parses "1,4" into replica counts, deduplicated and in order.
+func parseSweep(s string) ([]int, error) {
+	var counts []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("replica count %d < 1", v)
+		}
+		if !seen[v] {
+			seen[v] = true
+			counts = append(counts, v)
+		}
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no replica counts in %q", s)
+	}
+	sort.Ints(counts)
+	return counts, nil
+}

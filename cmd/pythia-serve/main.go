@@ -10,14 +10,23 @@
 //
 // Endpoints (see internal/serve for the full contract):
 //
-//	POST /v1/predict   QuerySpec JSON → predicted pages + matched workload
-//	POST /v1/explain   QuerySpec JSON → plan display + Algorithm 2 tokens
-//	GET  /v1/healthz   liveness + model inventory
-//	GET  /metrics      Prometheus text exposition
-//	GET  /stats        JSON statistics snapshot
+//	POST /v1/predict          QuerySpec JSON → predicted pages + matched workload
+//	POST /v1/explain          QuerySpec JSON → plan display + Algorithm 2 tokens
+//	GET  /v1/healthz          liveness + model inventory
+//	POST /v1/admin/reload     zero-downtime model swap from the -snapshot file
+//	GET  /v1/admin/replicas   replica topology
+//	GET  /metrics             Prometheus text exposition
+//	GET  /stats               JSON statistics snapshot
 //
-// The unversioned /predict, /explain, and /healthz aliases remain for one
-// release and answer with a Deprecation header.
+// The unversioned aliases remain for one release and answer with a
+// Deprecation header.
+//
+// With -replicas N the trained system is cloned into N independent model
+// replicas behind a consistent-hash router (see internal/serve's Pool).
+// With -snapshot the trained system is persisted to (or, when the file
+// already exists, loaded from) the given path; SIGHUP — or POST
+// /v1/admin/reload — swaps the serving models from that snapshot without
+// dropping a request.
 package main
 
 import (
@@ -60,6 +69,10 @@ func main() {
 		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long a cache miss waits to coalesce with concurrent misses (negative disables)")
 		maxBatch      = flag.Int("max-batch", 16, "max requests coalesced into one batched forward pass")
 		quantize      = flag.Bool("quantize", false, "run int8-quantized inference (per-tensor symmetric weights; ~Jaccard 0.9 agreement with float32)")
+		replicas      = flag.Int("replicas", 1, "independent model replicas behind the consistent-hash router")
+		queueDepth    = flag.Int("queue-depth", 32, "per-replica bounded work queue (negative disables)")
+		snapshot      = flag.String("snapshot", "", "model snapshot path: loaded instead of training when it exists, written after training otherwise; SIGHUP and /v1/admin/reload swap from it (empty = off)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long a superseded model generation drains after a swap")
 		faultPlan     = flag.String("fault-plan", "", "fault-injection plan for chaos drills, e.g. serve=0.2 (empty = none)")
 		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. localhost:6060 (empty = off)")
@@ -107,19 +120,34 @@ func main() {
 		log.Fatalf("pythia-serve: invalid config: %v", err)
 	}
 	sys := corepythia.New(gen.DB(), cfg)
-	for _, tpl := range strings.Split(*templates, ",") {
-		tpl = strings.TrimSpace(tpl)
-		if tpl == "" {
-			continue
+	if *snapshot != "" && fileExists(*snapshot) {
+		log.Printf("loading snapshot %s (skipping training)...", *snapshot)
+		loaded, err := loadSnapshot(gen, cfg, *snapshot)
+		if err != nil {
+			log.Fatalf("pythia-serve: loading -snapshot: %v", err)
 		}
-		log.Printf("training %s (%d instances)...", tpl, *n)
-		start := time.Now()
-		w := gen.Workload(tpl, *n, *seed+1)
-		sys.Train(tpl, w.Instances)
-		log.Printf("trained %s in %s", tpl, time.Since(start).Round(time.Second))
+		sys = loaded
+	} else {
+		for _, tpl := range strings.Split(*templates, ",") {
+			tpl = strings.TrimSpace(tpl)
+			if tpl == "" {
+				continue
+			}
+			log.Printf("training %s (%d instances)...", tpl, *n)
+			start := time.Now()
+			w := gen.Workload(tpl, *n, *seed+1)
+			sys.Train(tpl, w.Instances)
+			log.Printf("trained %s in %s", tpl, time.Since(start).Round(time.Second))
+		}
+		if *snapshot != "" {
+			if err := saveSnapshot(sys, *snapshot); err != nil {
+				log.Fatalf("pythia-serve: writing -snapshot: %v", err)
+			}
+			log.Printf("wrote snapshot %s", *snapshot)
+		}
 	}
 
-	srv := serve.New(gen.DB(), sys, metrics, serve.Options{
+	srv, err := serve.New(gen.DB(), sys, metrics, serve.Options{
 		RequestTimeout:   *reqTimeout,
 		MaxInFlight:      *maxInflight,
 		MaxBodyBytes:     *maxBody,
@@ -130,16 +158,41 @@ func main() {
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
 		Quantize:         *quantize,
+		Replicas:         *replicas,
+		QueueDepth:       *queueDepth,
+		SnapshotPath:     *snapshot,
+		DrainTimeout:     *drainTimeout,
 	})
+	if err != nil {
+		log.Fatalf("pythia-serve: %v", err)
+	}
 	defer srv.Close()
-	// Log the resolved effective options (after the zero=default /
-	// negative=disable convention is applied) so a deployment's actual
-	// protections and fast-path configuration are visible in its logs.
+	// Log the resolved effective options (after Options.Normalize applies the
+	// zero=default / negative=disable convention) so a deployment's actual
+	// protections, fast-path, and topology configuration are visible in its
+	// logs.
 	eff := srv.Options()
-	log.Printf("effective options: request-timeout=%s max-inflight=%d max-body=%d breaker-threshold=%d breaker-cooldown=%s cache-entries=%d batch-window=%s max-batch=%d quantize=%v",
+	log.Printf("effective options: request-timeout=%s max-inflight=%d max-body=%d breaker-threshold=%d breaker-cooldown=%s cache-entries=%d batch-window=%s max-batch=%d quantize=%v replicas=%d queue-depth=%d drain-timeout=%s snapshot=%q",
 		eff.RequestTimeout, eff.MaxInFlight, eff.MaxBodyBytes, eff.BreakerThreshold,
-		eff.BreakerCooldown, eff.CacheEntries, eff.BatchWindow, eff.MaxBatch, eff.Quantize)
+		eff.BreakerCooldown, eff.CacheEntries, eff.BatchWindow, eff.MaxBatch, eff.Quantize,
+		eff.Replicas, eff.QueueDepth, eff.DrainTimeout, eff.SnapshotPath)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGHUP is the operator's model-roll signal: swap the serving models
+	// from the -snapshot file without dropping a request.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Print("SIGHUP: reloading model snapshot...")
+			st, err := srv.ReloadSnapshot("")
+			if err != nil {
+				log.Printf("reload failed (still serving the old generation): %v", err)
+				continue
+			}
+			log.Printf("reloaded: generation %d across %d replicas", st.Generation, len(st.Replicas))
+		}
+	}()
 
 	if *pprofAddr != "" {
 		pmux := http.NewServeMux()
@@ -187,6 +240,36 @@ func main() {
 		}
 		log.Print("pythia-serve stopped")
 	}
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}
+
+// loadSnapshot decodes a persisted trained system against the generator's
+// catalog.
+func loadSnapshot(gen *dsb.Generator, cfg corepythia.Config, path string) (*corepythia.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return corepythia.LoadSystem(gen.DB(), cfg, f)
+}
+
+// saveSnapshot persists the trained system for later -snapshot starts and
+// SIGHUP / admin reloads.
+func saveSnapshot(sys *corepythia.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sys.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace dumps the recorded HTTP spans as Perfetto-loadable JSON.

@@ -63,6 +63,47 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 // Bounds returns the bucket upper bounds (excluding +Inf).
 func (h *Histogram) Bounds() []time.Duration { return h.bounds }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket that crosses the target rank — the same estimate
+// Prometheus's histogram_quantile computes from this bucket layout. The
+// lowest bucket interpolates from zero; a rank landing in the +Inf bucket
+// reports the largest finite bound, since the histogram cannot resolve
+// anything past it. Zero observations report zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := h.Cumulative()
+	i := 0
+	for i < len(cum) && float64(cum[i]) < rank {
+		i++
+	}
+	if i >= len(h.bounds) {
+		return h.bounds[len(h.bounds)-1]
+	}
+	var lower time.Duration
+	var below uint64
+	if i > 0 {
+		lower = h.bounds[i-1]
+		below = cum[i-1]
+	}
+	width := h.bounds[i] - lower
+	inBucket := float64(cum[i] - below)
+	if inBucket == 0 {
+		return h.bounds[i]
+	}
+	frac := (rank - float64(below)) / inBucket
+	return lower + time.Duration(frac*float64(width))
+}
+
 // Cumulative returns the cumulative per-bucket counts, one per bound plus a
 // final +Inf entry, Prometheus-style.
 func (h *Histogram) Cumulative() []uint64 {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/pythia-db/pythia/internal/catalog"
 	"github.com/pythia-db/pythia/internal/predictor"
 )
 
@@ -49,6 +50,53 @@ func (s *System) SaveWorkload(name string, w io.Writer) error {
 	}
 	state.Predictor = buf.Bytes()
 	return gob.NewEncoder(w).Encode(&state)
+}
+
+// persistedSystem is the on-disk form of a whole trained system: every
+// workload bundle in registration order. It is the snapshot unit of the
+// serve tier's zero-downtime model swap — one Save on the training side, one
+// LoadSystem per standby replica on the serving side.
+type persistedSystem struct {
+	Version   int
+	Workloads [][]byte
+}
+
+// Save writes every trained workload to w as one snapshot bundle. Loading
+// the bundle with LoadSystem reconstructs the full serving state (matching
+// metadata and model weights), so a deployment can train once, persist, and
+// later hot-swap the serving models from the file without restarting.
+func (s *System) Save(w io.Writer) error {
+	state := persistedSystem{Version: persistVersion}
+	for _, tw := range s.trained {
+		var buf bytes.Buffer
+		if err := s.SaveWorkload(tw.Name, &buf); err != nil {
+			return err
+		}
+		state.Workloads = append(state.Workloads, buf.Bytes())
+	}
+	return gob.NewEncoder(w).Encode(&state)
+}
+
+// LoadSystem reads a bundle written by Save into a fresh system over db,
+// configured by cfg (invalid configurations panic exactly like New; pass one
+// that came from Config.Normalize or an existing System). Every workload in
+// the bundle is registered for matching in its saved order, so predictions
+// from the loaded system are identical to the system that saved it.
+func LoadSystem(db *catalog.Database, cfg Config, r io.Reader) (*System, error) {
+	var state persistedSystem
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("pythia: decoding system snapshot: %w", err)
+	}
+	if state.Version != persistVersion {
+		return nil, fmt.Errorf("pythia: unsupported persisted version %d", state.Version)
+	}
+	sys := New(db, cfg)
+	for _, wb := range state.Workloads {
+		if _, err := sys.LoadWorkload(bytes.NewReader(wb)); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
 }
 
 // LoadWorkload reads a workload previously written by SaveWorkload and

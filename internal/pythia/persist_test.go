@@ -2,15 +2,39 @@ package pythia
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"github.com/pythia-db/pythia/internal/predictor"
+	"github.com/pythia-db/pythia/internal/workload"
 )
 
+// persistFixture trains one t91 system shared by the round-trip tests —
+// training dominates their runtime (especially under -race) and both tests
+// only read from the trained system.
+var persistFixture struct {
+	once sync.Once
+	sys  *System
+	test []*workload.Instance
+}
+
+func trainedSystem(t *testing.T) (*System, []*workload.Instance) {
+	t.Helper()
+	persistFixture.once.Do(func() {
+		s, w := testSystem(t)
+		train, test := w.Split(0.15, 3)
+		s.Train("t91", train)
+		persistFixture.sys = s
+		persistFixture.test = test
+	})
+	if persistFixture.sys == nil {
+		t.Fatal("shared persist fixture failed to build")
+	}
+	return persistFixture.sys, persistFixture.test
+}
+
 func TestSaveLoadWorkloadRoundTrip(t *testing.T) {
-	s, w := testSystem(t)
-	train, test := w.Split(0.15, 3)
-	s.Train("t91", train)
+	s, test := trainedSystem(t)
 
 	var buf bytes.Buffer
 	if err := s.SaveWorkload("t91", &buf); err != nil {
@@ -47,6 +71,54 @@ func TestSaveLoadWorkloadRoundTrip(t *testing.T) {
 	q.Template = ""
 	if s2.Match(q) != tw {
 		t.Fatal("loaded workload does not match by relation set")
+	}
+}
+
+func TestSaveLoadSystemRoundTrip(t *testing.T) {
+	s, test := trainedSystem(t)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty system snapshot")
+	}
+
+	// Two independent loads of the same bundle (the replica-pool shape) both
+	// predict exactly like the system that saved it.
+	for copyN := 0; copyN < 2; copyN++ {
+		s2, err := LoadSystem(s.DB, s.Config(), bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s2.Workloads()) != 1 || s2.Workloads()[0].Name != "t91" {
+			t.Fatalf("loaded system workloads wrong: %+v", s2.Workloads())
+		}
+		// The loaded predictor is an independent instance, not a shared
+		// pointer into the source system.
+		if s2.Workloads()[0].Pred == s.Workloads()[0].Pred {
+			t.Fatal("loaded system shares the saved system's predictor")
+		}
+		for _, inst := range test {
+			a := s.Prefetch(inst)
+			b := s2.Prefetch(inst)
+			if len(a) != len(b) {
+				t.Fatalf("loaded system differs: %d vs %d pages", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("loaded system differs in content")
+				}
+			}
+		}
+	}
+}
+
+func TestLoadSystemGarbageErrors(t *testing.T) {
+	s, _ := testSystem(t)
+	if _, err := LoadSystem(s.DB, s.Config(), bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("loading garbage system snapshot did not error")
 	}
 }
 

@@ -101,7 +101,7 @@ func BenchmarkServePredict(b *testing.B) {
 	serveBenchResults = serveBenchResults[:0]
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
-			srv := New(benchDB.DB(), sys, NewMetrics(nil), mode.opts)
+			srv := mustServer(b, benchDB.DB(), sys, NewMetrics(nil), mode.opts)
 			defer srv.Close()
 			insts := distinctInstances(b, srv, w, distinctPlans)
 			bodies := make([][]byte, len(insts))

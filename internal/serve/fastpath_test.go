@@ -23,7 +23,7 @@ import (
 func fastServer(t *testing.T, opts Options) (*Server, *workload.Workload) {
 	t.Helper()
 	base, w := testServer(t)
-	srv := New(base.db, base.sys, NewMetrics(nil), opts)
+	srv := mustServer(t, base.db, fixtureSys, NewMetrics(nil), opts)
 	t.Cleanup(srv.Close)
 	return srv, w
 }
@@ -52,7 +52,7 @@ func distinctInstances(t testing.TB, srv *Server, w *workload.Workload, n int) [
 	seen := map[uint64]bool{}
 	var idx []int
 	for i := range w.Instances {
-		tw := srv.sys.Match(w.Instances[i].Query)
+		tw := srv.inst().sys.Lookup(w.Instances[i].Query)
 		if tw == nil {
 			continue
 		}
@@ -103,7 +103,7 @@ func TestCacheHitSkipsInference(t *testing.T) {
 	if snap.Get(obs.PredCacheHit) != 1 {
 		t.Fatalf("predcache_hit=%d, want 1", snap.Get(obs.PredCacheHit))
 	}
-	if h := srv.cache.hits.Load(); h != 1 {
+	if h := srv.inst().cache.hits.Load(); h != 1 {
 		t.Fatalf("cache hits=%d, want 1", h)
 	}
 }
@@ -146,26 +146,26 @@ func TestCacheConcurrentIdentity(t *testing.T) {
 // must evict (counted on obs and /metrics) and never exceed its capacity.
 func TestCacheEvictionAtCapacity(t *testing.T) {
 	srv, w := fastServer(t, Options{CacheEntries: 4})
-	if got := srv.cache.capacity(); got != 4 {
+	if got := srv.inst().cache.capacity(); got != 4 {
 		t.Fatalf("capacity %d, want 4", got)
 	}
 	insts := distinctInstances(t, srv, w, 6)
 	for _, i := range insts {
 		predictOK(t, srv, w, i)
 	}
-	if n := srv.cache.len(); n > 4 {
+	if n := srv.inst().cache.len(); n > 4 {
 		t.Fatalf("cache holds %d entries past capacity 4", n)
 	}
-	if ev := srv.cache.evictions.Load(); ev != 2 {
+	if ev := srv.inst().cache.evictions.Load(); ev != 2 {
 		t.Fatalf("evictions=%d, want 2 (6 distinct plans into 4 slots)", ev)
 	}
 	if snap := srv.metrics.Events().Snapshot(); snap.Get(obs.PredCacheEvict) != 2 {
 		t.Fatalf("predcache_evict event=%d, want 2", snap.Get(obs.PredCacheEvict))
 	}
 	// LRU order: the oldest plan was evicted, so repeating it misses again.
-	before := srv.cache.misses.Load()
+	before := srv.inst().cache.misses.Load()
 	predictOK(t, srv, w, insts[0])
-	if srv.cache.misses.Load() != before+1 {
+	if srv.inst().cache.misses.Load() != before+1 {
 		t.Fatal("evicted plan did not miss on re-request")
 	}
 }
@@ -181,13 +181,13 @@ func TestShedDoesNotPoisonBatch(t *testing.T) {
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", rr.Code)
 	}
-	if n := srv.cache.len(); n != 0 {
+	if n := srv.inst().cache.len(); n != 0 {
 		t.Fatalf("shed request left %d cache entries", n)
 	}
-	if n := srv.missInflight.Load(); n != 0 {
+	if n := srv.inst().missInflight.Load(); n != 0 {
 		t.Fatalf("shed request left missInflight=%d", n)
 	}
-	if b := srv.batcher.batches.Load(); b != 0 {
+	if b := srv.inst().batcher.batches.Load(); b != 0 {
 		t.Fatalf("shed request dispatched %d batches", b)
 	}
 	srv.inflight.Add(-1)
@@ -211,7 +211,7 @@ func TestBatchedMatchesDirect(t *testing.T) {
 
 	// Hold an artificial miss in flight so every concurrent request routes to
 	// the batcher instead of the direct path.
-	batched.missInflight.Add(1)
+	batched.inst().missInflight.Add(1)
 	var wg sync.WaitGroup
 	got := make([]predictResponse, len(insts))
 	for k, i := range insts {
@@ -222,7 +222,7 @@ func TestBatchedMatchesDirect(t *testing.T) {
 		}(k, i)
 	}
 	wg.Wait()
-	batched.missInflight.Add(-1)
+	batched.inst().missInflight.Add(-1)
 
 	for k, i := range insts {
 		if got[k].Cached {
@@ -232,10 +232,10 @@ func TestBatchedMatchesDirect(t *testing.T) {
 			t.Fatalf("instance %d: batched %v, want direct %v", i, got[k].Pages, want[i])
 		}
 	}
-	if b := batched.batcher.batches.Load(); b == 0 {
+	if b := batched.inst().batcher.batches.Load(); b == 0 {
 		t.Fatal("no multi-request batch dispatched")
 	}
-	if n := batched.batcher.batched.Load(); n < 2 {
+	if n := batched.inst().batcher.batched.Load(); n < 2 {
 		t.Fatalf("only %d requests batched, want >=2", n)
 	}
 	snap := batched.metrics.Events().Snapshot()
@@ -266,7 +266,7 @@ func TestQuantizedServer(t *testing.T) {
 	cfg.Replay.BufferPages = 1024
 	sys := corepythia.New(g.DB(), cfg)
 	sys.Train("t91", w.Instances)
-	srv := New(g.DB(), sys, NewMetrics(nil), Options{Quantize: true})
+	srv := mustServer(t, g.DB(), sys, NewMetrics(nil), Options{Quantize: true})
 	t.Cleanup(srv.Close)
 
 	first := predictOK(t, srv, w, 0)

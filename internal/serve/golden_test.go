@@ -45,7 +45,7 @@ func goldenServer(t *testing.T) *Server {
 	cfg := corepythia.DefaultConfig()
 	cfg.Recorder = metrics.Events()
 	sys := corepythia.New(g.DB(), cfg)
-	return New(g.DB(), sys, metrics, Options{})
+	return mustServer(t, g.DB(), sys, metrics, Options{})
 }
 
 // checkGolden compares a response body byte-for-byte against a committed

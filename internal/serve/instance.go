@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/plan"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// instance is one serving replica: an independent trained system with its
+// own prediction cache, micro-batcher, circuit breaker, and bounded work
+// queue. Replicas share nothing but the metrics hub, the fault gate, and the
+// warm set — each holds its own model weights (clones decoded from one
+// snapshot), so inference on different replicas runs truly in parallel
+// instead of serializing on one model's mutex.
+type instance struct {
+	id   int
+	gen  uint64
+	sys  *corepythia.System
+	opts Options
+
+	metrics *Metrics
+	fgate   *faultGate
+	warm    *warmer
+
+	// cache and batcher are the PR-6 inference fast path, now per replica:
+	// consistent-hash routing sends a plan fingerprint to the same replica
+	// every time, so each replica's cache holds a disjoint hot set instead of
+	// N copies of the same entries. Either may be nil when disabled.
+	cache   *predCache
+	batcher *batcher
+	breaker *breaker
+
+	// queue bounds concurrently admitted requests on this replica (nil =
+	// unbounded). Routing is by plan hash, not load, so a replica stuck on a
+	// slow inference sheds its own overflow instead of queueing unboundedly
+	// while its siblings idle.
+	queue chan struct{}
+
+	// missInflight counts requests currently on the miss (inference) path;
+	// a miss only routes to the batcher when others are already inferring,
+	// so an idle replica's p50 never pays the batch window.
+	missInflight atomic.Int64
+	inflight     atomic.Int64
+	served       atomic.Uint64
+	shed         atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+func newInstance(id int, gen uint64, sys *corepythia.System, metrics *Metrics, fgate *faultGate, warm *warmer, opts Options) *instance {
+	ins := &instance{
+		id: id, gen: gen, sys: sys, opts: opts,
+		metrics: metrics, fgate: fgate, warm: warm,
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
+	}
+	if opts.CacheEntries > 0 {
+		ins.cache = newPredCache(opts.CacheEntries, metrics.Events())
+	}
+	if opts.BatchWindow > 0 && opts.MaxBatch > 1 {
+		ins.batcher = newBatcher(opts.BatchWindow, opts.MaxBatch)
+	}
+	if opts.QueueDepth > 0 {
+		ins.queue = make(chan struct{}, opts.QueueDepth)
+	}
+	return ins
+}
+
+// predict runs the full model path for one planned query. routed reports the
+// caller already matched the query once on its routing view (the pool's
+// router); the replica then resolves its own Trained handle quietly with
+// Lookup so one request never records two matching events.
+//
+// Stage order is exactly the single-server PR-6 path: bounded-queue
+// admission → workload matching → prediction cache → circuit breaker →
+// fault injection → (batched) inference → cache fill.
+func (ins *instance) predict(ctx context.Context, q plan.Query, root *plan.Node, routed bool) (Prediction, error) {
+	p := Prediction{Replica: ins.id, Generation: ins.gen}
+	if ins.queue != nil {
+		select {
+		case ins.queue <- struct{}{}:
+			defer func() { <-ins.queue }()
+		default:
+			ins.shed.Add(1)
+			return p, ErrSaturated
+		}
+	}
+	ins.inflight.Add(1)
+	defer ins.inflight.Add(-1)
+	defer ins.served.Add(1)
+
+	var tw *corepythia.Trained
+	if routed {
+		tw = ins.sys.Lookup(q)
+	} else {
+		tw = ins.sys.Match(q)
+	}
+
+	// Stage 1: prediction cache. Checked before the breaker and fault hooks —
+	// a hit performs zero inference and cannot fail, so cached plans keep
+	// answering even while the model path is degraded.
+	var fp uint64
+	cacheable := tw != nil && ins.cache != nil
+	if cacheable {
+		fp = fingerprint(tw.Name, tw.Pred.EncodePlan(root))
+		ins.warm.note(fp, q, root)
+		if pages, hit := ins.cache.get(fp); hit {
+			ins.metrics.markCache(true)
+			p.Workload = tw.Name
+			p.Cached = true
+			p.Pages = pages
+			return p, nil
+		}
+		ins.metrics.markCache(false)
+	}
+
+	if tw != nil && !ins.breaker.allow() {
+		// Breaker open: answer from the fallback path without touching the
+		// model. The client still gets a well-formed (empty) prediction —
+		// prefetching is advisory, so degraded beats unavailable.
+		p.Degraded = "breaker_open"
+		tw = nil
+	}
+	if tw == nil {
+		p.Fallback = true
+		return p, nil
+	}
+	if ins.fgate.fire() {
+		ins.breaker.failure()
+		return p, errModelFault
+	}
+	p.Workload = tw.Name
+	pages, err := ins.infer(ctx, tw, root)
+	if err != nil {
+		return p, err
+	}
+	if cacheable {
+		// Only successful inferences populate the cache; faulted or
+		// timed-out requests never do, so the cache cannot serve poison.
+		ins.cache.put(fp, pages)
+	}
+	p.Pages = pages
+	return p, nil
+}
+
+// infer runs the miss (inference) path. Stage 2 routing: a miss that arrives
+// while other misses are in flight joins the micro-batcher; otherwise it
+// runs the single-plan inference directly, so an idle replica never pays the
+// batch window. Either way the slow step runs off the caller's goroutine so
+// a disconnected client (or an expired budget) aborts the wait, not the
+// work. Context errors come back verbatim for the Server to map to 504/499.
+func (ins *instance) infer(ctx context.Context, tw *corepythia.Trained, root *plan.Node) ([]storage.PageID, error) {
+	n := ins.missInflight.Add(1)
+	defer ins.missInflight.Add(-1)
+	done := make(chan batchRes, 1)
+	if !(n > 1 && ins.batcher != nil && ins.batcher.enqueue(batchReq{tw: tw, root: root, res: done})) {
+		go func() { done <- batchRes{pages: tw.Pred.PredictParallel(root), size: 1} }()
+	}
+	select {
+	case res := <-done:
+		ins.breaker.success()
+		if rec := ins.metrics.Events(); rec != nil {
+			rec.Record(obs.Event{Kind: obs.InferenceRun})
+			if res.size > 1 {
+				rec.Record(obs.Event{Kind: obs.InferenceBatched})
+			}
+		}
+		return ins.sys.LimitPrefetch(res.pages), nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			ins.metrics.timeouts.Add(1)
+			ins.breaker.failure()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// status reports this replica's row for InfStatus.
+func (ins *instance) status() ReplicaStatus {
+	st := ReplicaStatus{
+		ID:           ins.id,
+		Generation:   ins.gen,
+		Served:       ins.served.Load(),
+		Shed:         ins.shed.Load(),
+		InFlight:     ins.inflight.Load(),
+		QueueDepth:   cap(ins.queue),
+		Breaker:      ins.breaker.State(),
+		BreakerValue: ins.breaker.stateValue(),
+		Workloads:    workloadNames(ins.sys),
+	}
+	for _, tw := range ins.sys.Workloads() {
+		st.Params += tw.Pred.ParamCount()
+	}
+	if ins.cache != nil {
+		st.CacheEntries = ins.cache.len()
+		st.CacheCapacity = ins.cache.capacity()
+		st.CacheHits = ins.cache.hits.Load()
+		st.CacheMisses = ins.cache.misses.Load()
+		st.CacheEvictions = ins.cache.evictions.Load()
+	}
+	if ins.batcher != nil {
+		st.Batches = ins.batcher.batches.Load()
+		st.BatchedReqs = ins.batcher.batched.Load()
+	}
+	return st
+}
+
+// close stops the replica's micro-batch collector (requests keep working on
+// the direct path afterwards). Safe to call more than once.
+func (ins *instance) close() {
+	ins.closeOnce.Do(func() {
+		if ins.batcher != nil {
+			ins.batcher.close()
+		}
+	})
+}
+
+// drainInstance waits (bounded by timeout) for a superseded replica's
+// in-flight requests to finish, then tears it down. Closing a batcher whose
+// replica still has stragglers is safe — enqueue on a closed batcher reports
+// false and the request completes on the direct path.
+func drainInstance(ins *instance, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for ins.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ins.close()
+}
+
+// warmThrough replays the warm set through freshly built instances: pick
+// maps each recorded fingerprint to its new replica (identity for a single
+// instance, the hash ring for a pool) and each entry runs one quiet routed
+// prediction there, populating the new generation's caches before it takes
+// traffic. Failures are ignored — warming is best-effort by design.
+func warmThrough(entries []warmEntry, timeout time.Duration, pick func(fp uint64) *instance) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	for _, e := range entries {
+		ins := pick(e.fp)
+		if ins == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		if _, err := ins.predict(ctx, e.q, e.root, true); err != nil {
+			// Best-effort: a faulted or slow warm-up prediction just means a
+			// cold first request for that plan.
+			_ = err
+		}
+		cancel()
+	}
+}

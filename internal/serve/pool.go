@@ -1,0 +1,198 @@
+package serve
+
+// The replica pool is the serving tier's scale-out layer. One trained
+// pythia.System is snapshotted (pythia.System.Save) and decoded into N
+// independent clones, each wrapped in an instance with its own prediction
+// cache, micro-batcher, circuit breaker, and bounded work queue. A request
+// is matched once on the routing replica, fingerprinted by its encoded plan
+// (the same key the prediction cache uses), and routed through a
+// consistent-hash ring to the replica that owns that fingerprint.
+//
+// Why route by plan hash instead of round-robin: templated workloads
+// collapse to few distinct plans, so replica-affine routing means each
+// distinct plan's cached prediction lives on exactly one replica — the
+// pool's aggregate cache holds N shards of the hot set, not N copies of it —
+// and a cache miss for a given plan always recomputes on the replica that
+// will field that plan's future hits. Model weights are cloned per replica,
+// so forward passes on different replicas never serialize on a shared
+// model's mutex; that is where the aggregate throughput multiple comes from.
+//
+// A model swap builds a complete standby generation (N fresh clones from the
+// new snapshot), warms it on recently served plans, and swings one atomic
+// pointer. Requests in flight keep the generation pointer they loaded, so
+// every request runs against exactly one coherent generation — there is no
+// torn state to observe — and the superseded generation drains in the
+// background.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pythia-db/pythia/internal/catalog"
+	"github.com/pythia-db/pythia/internal/plan"
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
+)
+
+// generation is one immutable serving configuration: N instances and the
+// ring that routes over them. Predict loads it once and uses only it, so a
+// concurrent Swap can never hand a request instances from two generations.
+type generation struct {
+	id        uint64
+	instances []*instance
+	ring      *hashRing
+}
+
+// Pool is the N-replica Inferencer behind the serving tier.
+type Pool struct {
+	db      *catalog.Database
+	metrics *Metrics
+	opts    Options
+	fgate   *faultGate
+	warm    *warmer
+
+	cur    atomic.Pointer[generation]
+	swapMu sync.Mutex // serializes Swap; Predict never takes it
+	swaps  atomic.Uint64
+}
+
+// NewPool builds a pool of opts.Replicas independent replicas over a trained
+// system. The system is snapshotted once and decoded opts.Replicas-1 times
+// (replica 0 serves the original), so construction cost scales with model
+// size, not training time. Options are normalized here; most callers want
+// New, which picks Single or Pool from Options.Replicas.
+func NewPool(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Options) (*Pool, error) {
+	norm, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if metrics == nil {
+		metrics = NewMetrics(nil)
+	}
+	return newPool(db, sys, metrics, &faultGate{inj: norm.Fault}, norm)
+}
+
+// newPool is the internal constructor: opts are already normalized and the
+// fault gate is shared with the owning Server.
+func newPool(db *catalog.Database, sys *corepythia.System, metrics *Metrics, fgate *faultGate, opts Options) (*Pool, error) {
+	p := &Pool{db: db, metrics: metrics, opts: opts, fgate: fgate, warm: newWarmer()}
+	// Snapshot before quantizing: clones decode float32 weights and quantize
+	// themselves, rather than round-tripping an already-quantized model.
+	var snap bytes.Buffer
+	if err := sys.Save(&snap); err != nil {
+		return nil, fmt.Errorf("serve: snapshotting system for replication: %w", err)
+	}
+	if opts.Quantize {
+		quantizeSystem(sys)
+	}
+	instances := make([]*instance, opts.Replicas)
+	instances[0] = newInstance(0, 1, sys, metrics, fgate, p.warm, opts)
+	for i := 1; i < opts.Replicas; i++ {
+		clone, err := corepythia.LoadSystem(db, sys.Config(), bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: cloning replica %d: %w", i, err)
+		}
+		if opts.Quantize {
+			quantizeSystem(clone)
+		}
+		instances[i] = newInstance(i, 1, clone, metrics, fgate, p.warm, opts)
+	}
+	p.cur.Store(&generation{id: 1, instances: instances, ring: newRing(opts.Replicas)})
+	return p, nil
+}
+
+// Predict matches the query once on the routing replica, routes its plan
+// fingerprint through the ring, and answers on the owning replica. The
+// routed replica resolves its own (independent) Trained handle quietly, so
+// one request records exactly one workload-matching event.
+func (p *Pool) Predict(ctx context.Context, q plan.Query, root *plan.Node) (Prediction, error) {
+	gen := p.cur.Load()
+	router := gen.instances[0]
+	tw := router.sys.Match(q)
+	if tw == nil {
+		return Prediction{Fallback: true, Replica: -1, Generation: gen.id}, nil
+	}
+	fp := fingerprint(tw.Name, tw.Pred.EncodePlan(root))
+	ins := gen.instances[gen.ring.lookup(fp)]
+	return ins.predict(ctx, q, root, true)
+}
+
+// PredictBatch answers many queries concurrently, each routed independently;
+// what lands on the same replica together coalesces in its micro-batcher.
+func (p *Pool) PredictBatch(ctx context.Context, qs []plan.Query, roots []*plan.Node) ([]Prediction, error) {
+	return predictAll(ctx, p, qs, roots)
+}
+
+// Explain renders a plan without inference.
+func (p *Pool) Explain(root *plan.Node) Explanation { return explainPlan(root) }
+
+// Workloads returns the routing replica's trained workloads (every replica
+// holds an identical inventory).
+func (p *Pool) Workloads() []*corepythia.Trained {
+	return p.cur.Load().instances[0].sys.Workloads()
+}
+
+// Status reports the pool topology: one row per replica of the current
+// generation.
+func (p *Pool) Status() InfStatus {
+	gen := p.cur.Load()
+	st := InfStatus{Generation: gen.id, Swaps: p.swaps.Load()}
+	for _, ins := range gen.instances {
+		st.Replicas = append(st.Replicas, ins.status())
+	}
+	return st
+}
+
+// Swap loads a snapshot into a complete standby generation (one fresh clone
+// per replica), warms it on recently served plans, atomically makes it the
+// serving generation, and drains the superseded one in the background.
+// Requests in flight complete on the generation that admitted them; a
+// request observes exactly one generation end to end, never a mix.
+func (p *Pool) Swap(r io.Reader) error {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	old := p.cur.Load()
+	cfg := old.instances[0].sys.Config()
+	genID := old.id + 1
+	instances := make([]*instance, len(old.instances))
+	for i := range instances {
+		sys, err := corepythia.LoadSystem(p.db, cfg, bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("serve: loading snapshot into replica %d: %w", i, err)
+		}
+		if i == 0 && len(sys.Workloads()) == 0 {
+			return errors.New("serve: snapshot contains no trained workloads")
+		}
+		if p.opts.Quantize {
+			quantizeSystem(sys)
+		}
+		instances[i] = newInstance(i, genID, sys, p.metrics, p.fgate, p.warm, p.opts)
+	}
+	next := &generation{id: genID, instances: instances, ring: old.ring}
+	warmThrough(p.warm.snapshot(), p.opts.RequestTimeout, func(fp uint64) *instance {
+		return next.instances[next.ring.lookup(fp)]
+	})
+	p.cur.Store(next)
+	p.swaps.Add(1)
+	go func() {
+		for _, ins := range old.instances {
+			drainInstance(ins, p.opts.DrainTimeout)
+		}
+	}()
+	return nil
+}
+
+// Close tears down the current generation's batch collectors.
+func (p *Pool) Close() {
+	for _, ins := range p.cur.Load().instances {
+		ins.close()
+	}
+}

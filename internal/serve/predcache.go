@@ -62,10 +62,16 @@ const pcShards = 16
 
 // newPredCache builds a cache bounded to capacity entries in total. The
 // recorder (may be nil) receives one event per hit/miss/eviction.
+//
+// The shard count scales down with capacity (one shard per ~8 entries, up
+// to pcShards): slicing a small cache 16 ways leaves each shard room for
+// only an entry or two, so a working set that fits the aggregate bound
+// still thrashes shard-locally. A handful of shards keeps lock contention
+// negligible at the request rates a small cache implies.
 func newPredCache(capacity int, rec *obs.AtomicCounters) *predCache {
-	shards := pcShards
-	if capacity < shards {
-		shards = 1
+	shards := 1
+	for shards < pcShards && shards*16 <= capacity {
+		shards *= 2
 	}
 	c := &predCache{shards: make([]pcShard, shards), mask: uint64(shards - 1), rec: rec}
 	per := (capacity + shards - 1) / shards

@@ -66,15 +66,36 @@ func (s *Server) writePrometheus(w io.Writer) {
 
 	fmt.Fprintln(w, "# HELP pythia_workloads Trained workloads loaded in the server.")
 	fmt.Fprintln(w, "# TYPE pythia_workloads gauge")
-	fmt.Fprintf(w, "pythia_workloads %d\n", len(s.sys.Workloads()))
+	fmt.Fprintf(w, "pythia_workloads %d\n", len(s.inf.Workloads()))
 
 	params := 0
-	for _, tw := range s.sys.Workloads() {
+	for _, tw := range s.inf.Workloads() {
 		params += tw.Pred.ParamCount()
 	}
-	fmt.Fprintln(w, "# HELP pythia_model_params Total trained model parameters.")
+	fmt.Fprintln(w, "# HELP pythia_model_params Total trained model parameters (one replica).")
 	fmt.Fprintln(w, "# TYPE pythia_model_params gauge")
 	fmt.Fprintf(w, "pythia_model_params %d\n", params)
+
+	// Replica topology. Aggregated across replicas — no per-replica labels, so
+	// the exposition shape is independent of -replicas; per-replica rows live
+	// on /v1/admin/replicas.
+	st := s.inf.Status()
+	fmt.Fprintln(w, "# HELP pythia_replicas Model replicas in the serving generation.")
+	fmt.Fprintln(w, "# TYPE pythia_replicas gauge")
+	fmt.Fprintf(w, "pythia_replicas %d\n", len(st.Replicas))
+	fmt.Fprintln(w, "# HELP pythia_model_generation Serving model generation (increments on reload).")
+	fmt.Fprintln(w, "# TYPE pythia_model_generation gauge")
+	fmt.Fprintf(w, "pythia_model_generation %d\n", st.Generation)
+	fmt.Fprintln(w, "# HELP pythia_model_swaps_total Completed zero-downtime model swaps.")
+	fmt.Fprintln(w, "# TYPE pythia_model_swaps_total counter")
+	fmt.Fprintf(w, "pythia_model_swaps_total %d\n", st.Swaps)
+	var replicaSheds uint64
+	for _, r := range st.Replicas {
+		replicaSheds += r.Shed
+	}
+	fmt.Fprintln(w, "# HELP pythia_replica_sheds_total Requests shed at a replica's bounded work queue.")
+	fmt.Fprintln(w, "# TYPE pythia_replica_sheds_total counter")
+	fmt.Fprintf(w, "pythia_replica_sheds_total %d\n", replicaSheds)
 
 	fmt.Fprintln(w, "# HELP pythia_requests_shed_total Requests refused at the in-flight limit.")
 	fmt.Fprintln(w, "# TYPE pythia_requests_shed_total counter")
@@ -84,14 +105,17 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_inference_timeouts_total counter")
 	fmt.Fprintf(w, "pythia_inference_timeouts_total %d\n", m.timeouts.Load())
 
-	// Inference fast path. The families render whether or not the cache and
-	// batcher are enabled (zeros when disabled) so the exposition shape is
-	// independent of configuration.
+	// Inference fast path, summed across replicas. The families render whether
+	// or not the cache and batcher are enabled (zeros when disabled) so the
+	// exposition shape is independent of configuration.
 	var pcHits, pcMisses, pcEvicts uint64
 	var pcEntries, pcCap int
-	if s.cache != nil {
-		pcHits, pcMisses, pcEvicts = s.cache.hits.Load(), s.cache.misses.Load(), s.cache.evictions.Load()
-		pcEntries, pcCap = s.cache.len(), s.cache.capacity()
+	for _, r := range st.Replicas {
+		pcHits += r.CacheHits
+		pcMisses += r.CacheMisses
+		pcEvicts += r.CacheEvictions
+		pcEntries += r.CacheEntries
+		pcCap += r.CacheCapacity
 	}
 	fmt.Fprintln(w, "# HELP pythia_predcache_hits_total Prediction-cache hits (requests answered with zero inference).")
 	fmt.Fprintln(w, "# TYPE pythia_predcache_hits_total counter")
@@ -110,8 +134,9 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "pythia_predcache_capacity %d\n", pcCap)
 
 	var batches, batched uint64
-	if s.batcher != nil {
-		batches, batched = s.batcher.batches.Load(), s.batcher.batched.Load()
+	for _, r := range st.Replicas {
+		batches += r.Batches
+		batched += r.BatchedReqs
 	}
 	fmt.Fprintln(w, "# HELP pythia_inference_batches_total Multi-request batched forward passes dispatched.")
 	fmt.Fprintln(w, "# TYPE pythia_inference_batches_total counter")
@@ -120,9 +145,10 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_batched_requests_total counter")
 	fmt.Fprintf(w, "pythia_batched_requests_total %d\n", batched)
 
-	fmt.Fprintln(w, "# HELP pythia_breaker_state Circuit breaker state (0=closed, 1=half_open, 2=open).")
+	fmt.Fprintln(w, "# HELP pythia_breaker_state Worst circuit-breaker state across replicas (0=closed, 1=half_open, 2=open).")
 	fmt.Fprintln(w, "# TYPE pythia_breaker_state gauge")
-	fmt.Fprintf(w, "pythia_breaker_state %d\n", s.breaker.stateValue())
+	breakerValue, _ := worstBreakerState(st)
+	fmt.Fprintf(w, "pythia_breaker_state %d\n", breakerValue)
 
 	fmt.Fprintln(w, "# HELP pythia_draining Whether the server is draining for shutdown.")
 	fmt.Fprintln(w, "# TYPE pythia_draining gauge")

@@ -19,7 +19,7 @@ import (
 func resilienceServer(t *testing.T, opts Options) (*Server, *workload.Workload) {
 	t.Helper()
 	base, w := testServer(t)
-	return New(base.db, base.sys, NewMetrics(nil), opts), w
+	return mustServer(t, base.db, fixtureSys, NewMetrics(nil), opts), w
 }
 
 func matchedBody(t *testing.T, w *workload.Workload) *strings.Reader {
@@ -93,7 +93,7 @@ func TestBreakerOpensHalfOpensCloses(t *testing.T) {
 	})
 	// Fake clock so the cooldown needs no sleeping.
 	now := time.Unix(0, 0)
-	srv.breaker.now = func() time.Time { return now }
+	srv.inst().breaker.now = func() time.Time { return now }
 
 	// Two consecutive injected model errors trip the breaker.
 	for i := 0; i < 2; i++ {
@@ -105,7 +105,7 @@ func TestBreakerOpensHalfOpensCloses(t *testing.T) {
 			t.Fatalf("envelope wrong: %+v", env)
 		}
 	}
-	if s := srv.breaker.State(); s != "open" {
+	if s := srv.inst().breaker.State(); s != "open" {
 		t.Fatalf("breaker %s after threshold errors, want open", s)
 	}
 
@@ -129,18 +129,18 @@ func TestBreakerOpensHalfOpensCloses(t *testing.T) {
 	if rr.Code != http.StatusInternalServerError {
 		t.Fatalf("half-open trial status %d: %s", rr.Code, rr.Body.String())
 	}
-	if s := srv.breaker.State(); s != "open" {
+	if s := srv.inst().breaker.State(); s != "open" {
 		t.Fatalf("breaker %s after failed trial, want open", s)
 	}
 
 	// Fault clears; the next trial succeeds and closes the breaker.
-	srv.opts.Fault = nil
+	srv.setFault(nil)
 	now = now.Add(2 * time.Minute)
 	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
 	if rr.Code != http.StatusOK {
 		t.Fatalf("recovery status %d: %s", rr.Code, rr.Body.String())
 	}
-	if s := srv.breaker.State(); s != "closed" {
+	if s := srv.inst().breaker.State(); s != "closed" {
 		t.Fatalf("breaker %s after successful trial, want closed", s)
 	}
 

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringVNodes is how many virtual nodes each replica contributes to the hash
+// ring. More virtual nodes smooth the key distribution (and the remap
+// fraction when the replica count changes) at the cost of a slightly larger
+// sorted array; 64 keeps the per-replica load within a few percent of even
+// for the fingerprint distributions FNV-64a produces.
+const ringVNodes = 64
+
+// hashRing is a consistent-hash ring over replica indices. Plan fingerprints
+// (predictor.Fingerprint with the workload name folded in — the same key the
+// prediction cache uses) map to the first ring point at or clockwise after
+// the fingerprint, so the same plan always lands on the same replica and its
+// cached prediction stays resident exactly once across the pool. Changing
+// the replica count remaps only the arc segments owned by the added or
+// removed replica — roughly 1/N of the key space — so most of the pool's
+// cache investment survives a resize.
+//
+// The ring is immutable after construction: lookups are a binary search over
+// a sorted slice, safe for any number of concurrent readers.
+type hashRing struct {
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a hash position and the replica owning it.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newRing builds the ring for a replica count. Virtual-node positions hash
+// the label "replica-<r>/<v>" with FNV-64a — a pure function of (r, v), so
+// routing is identical across processes and runs.
+func newRing(replicas int) *hashRing {
+	if replicas < 1 {
+		replicas = 1
+	}
+	points := make([]ringPoint, 0, replicas*ringVNodes)
+	for r := 0; r < replicas; r++ {
+		for v := 0; v < ringVNodes; v++ {
+			label := "replica-" + strconv.Itoa(r) + "/" + strconv.Itoa(v)
+			points = append(points, ringPoint{hash: mix64(fnv64a(label)), replica: r})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// A 64-bit collision between labels is vanishingly unlikely, but the
+		// tie-break keeps the sort — and therefore routing — deterministic
+		// even then.
+		return points[i].replica < points[j].replica
+	})
+	return &hashRing{points: points}
+}
+
+// lookup returns the replica owning a fingerprint: the first point at or
+// after it, wrapping to the ring's start. Binary search is written out
+// rather than using sort.Search so the hot routing path stays closure- and
+// allocation-free.
+//
+//pythia:noalloc
+func (r *hashRing) lookup(fp uint64) int {
+	fp = mix64(fp)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < fp {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.points[lo].replica
+}
+
+// replicas returns the replica count the ring was built for.
+func (r *hashRing) replicas() int {
+	n := 0
+	for _, p := range r.points {
+		if p.replica+1 > n {
+			n = p.replica + 1
+		}
+	}
+	return n
+}
+
+// mix64 is the splitmix64 finalizer. FNV-64a of short, similar strings (and
+// the FNV-folded plan fingerprints) clusters in the upper bits, which is
+// exactly what ring positioning sorts on — without a finalizer the arc
+// lengths skew several-fold. One multiply-xorshift round restores uniform
+// spread while staying a pure, allocation-free function.
+//
+//pythia:noalloc
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64a hashes a label with FNV-64a (the repo's standard non-cryptographic
+// hash; see predictor.Fingerprint and the prediction cache).
+//
+//pythia:noalloc
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

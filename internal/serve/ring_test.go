@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+)
+
+// testFingerprints derives a deterministic spread of fingerprint keys, the
+// same way production fingerprints come out of FNV-64a.
+func testFingerprints(n int) []uint64 {
+	fps := make([]uint64, n)
+	for i := range fps {
+		fps[i] = fnv64a("plan-" + strconv.Itoa(i))
+	}
+	return fps
+}
+
+// TestRingDeterministicRouting: routing is a pure function of (replica count,
+// fingerprint) — two independently built rings agree on every key, so any
+// process (or restart) routes identically.
+func TestRingDeterministicRouting(t *testing.T) {
+	a, b := newRing(4), newRing(4)
+	if a.replicas() != 4 {
+		t.Fatalf("replicas() = %d, want 4", a.replicas())
+	}
+	hits := make([]int, 4)
+	for _, fp := range testFingerprints(4096) {
+		ra, rb := a.lookup(fp), b.lookup(fp)
+		if ra != rb {
+			t.Fatalf("rings disagree on %#x: %d vs %d", fp, ra, rb)
+		}
+		if ra < 0 || ra > 3 {
+			t.Fatalf("lookup(%#x) = %d out of range", fp, ra)
+		}
+		hits[ra]++
+	}
+	// 64 virtual nodes keep the key distribution roughly even: no replica may
+	// starve or own the majority of the space.
+	for r, n := range hits {
+		if n < 4096/4/4 || n > 4096*3/4 {
+			t.Fatalf("replica %d owns %d/4096 keys — distribution badly skewed: %v", r, n, hits)
+		}
+	}
+}
+
+// TestRingBoundedRemap: growing the pool remaps only the arcs the new replica
+// takes over — about 1/(N+1) of the key space — so most cached predictions
+// stay on the replica that owns them across a resize. A modulo router would
+// remap ~80% here.
+func TestRingBoundedRemap(t *testing.T) {
+	before, after := newRing(4), newRing(5)
+	fps := testFingerprints(8192)
+	remapped := 0
+	for _, fp := range fps {
+		was, is := before.lookup(fp), after.lookup(fp)
+		if was != is {
+			remapped++
+			// Consistent hashing only moves keys onto the added replica; a key
+			// hopping between two surviving replicas would mean unrelated cache
+			// entries were invalidated.
+			if is != 4 {
+				t.Fatalf("key %#x moved %d→%d, not to the added replica", fp, was, is)
+			}
+		}
+	}
+	frac := float64(remapped) / float64(len(fps))
+	if frac == 0 {
+		t.Fatal("no keys remapped — the added replica owns nothing")
+	}
+	if frac > 0.4 {
+		t.Fatalf("%.0f%% of keys remapped adding 1 of 5 replicas, want ~20%%", frac*100)
+	}
+}
+
+// TestRingSingleReplica: a one-replica ring routes everything to replica 0
+// (and a nonsensical count clamps rather than panics).
+func TestRingSingleReplica(t *testing.T) {
+	r := newRing(1)
+	for _, fp := range testFingerprints(64) {
+		if r.lookup(fp) != 0 {
+			t.Fatal("single-replica ring routed off replica 0")
+		}
+	}
+	if newRing(0).replicas() != 1 {
+		t.Fatal("zero-replica ring did not clamp to 1")
+	}
+}

@@ -6,14 +6,16 @@
 //
 // API contract:
 //
-//	POST /v1/predict   QuerySpec JSON → predicted pages + matched workload
-//	POST /v1/explain   QuerySpec JSON → plan display + Algorithm 2 tokens
-//	GET  /v1/healthz   liveness + model inventory
-//	GET  /metrics      Prometheus text exposition
-//	GET  /stats        JSON statistics snapshot
+//	POST /v1/predict          QuerySpec JSON → predicted pages + matched workload
+//	POST /v1/explain          QuerySpec JSON → plan display + Algorithm 2 tokens
+//	GET  /v1/healthz          liveness + model inventory
+//	POST /v1/admin/reload     zero-downtime model swap from a snapshot file
+//	GET  /v1/admin/replicas   replica topology (generation, queues, breakers, caches)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /stats               JSON statistics snapshot
 //
-// The unversioned /predict, /explain, and /healthz aliases still work but
-// answer with a Deprecation header pointing at their /v1 successors.
+// The unversioned aliases of every /v1 endpoint still work but answer with a
+// Deprecation header pointing at their /v1 successors.
 //
 // Every non-200 response carries a typed JSON error envelope:
 //
@@ -28,6 +30,12 @@
 // consecutive-error circuit breaker trips the model path to the fallback
 // answer, half-opening after a cooldown. All of it is visible on /metrics
 // and /stats.
+//
+// The model tier behind the handlers is an Inferencer: a Single instance by
+// default, or — with Options.Replicas > 1 — a Pool of independent model
+// replicas behind a consistent-hash router keyed on plan fingerprints, with
+// per-replica bounded work queues and snapshot-based zero-downtime model
+// swap (POST /v1/admin/reload, or SIGHUP in pythia-serve).
 package serve
 
 import (
@@ -46,7 +54,6 @@ import (
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
-	"github.com/pythia-db/pythia/internal/serialize"
 	"github.com/pythia-db/pythia/internal/spec"
 	"github.com/pythia-db/pythia/internal/storage"
 )
@@ -68,32 +75,37 @@ const (
 // is visible in metrics.
 const StatusClientClosedRequest = 499
 
-// Options are the server's resilience knobs. The zero value of each field
-// selects a sensible default; a negative value disables that protection
-// entirely (useful in tests and trusted deployments).
+// Options are the server's resilience and topology knobs. The zero value of
+// each field selects a sensible default; a negative value disables that
+// protection entirely (useful in tests and trusted deployments) unless a
+// field documents otherwise. Call Normalize to resolve the convention and
+// validate combinations; New does it for you.
 type Options struct {
 	// RequestTimeout bounds model inference per request; an expired budget
 	// answers 504 deadline_exceeded. Default 5s.
 	RequestTimeout time.Duration
 	// MaxInFlight bounds concurrently served model requests (predict and
-	// explain); excess load is shed with 503 + Retry-After. Default 64.
+	// explain) across the whole server; excess load is shed with 503 +
+	// Retry-After. Default 64.
 	MaxInFlight int
 	// MaxBodyBytes caps the request body; larger posts answer 413. Default
 	// 1 MiB.
 	MaxBodyBytes int64
-	// BreakerThreshold is the consecutive model-error count that trips the
-	// circuit breaker to the fallback path. Default 5.
+	// BreakerThreshold is the consecutive model-error count that trips a
+	// replica's circuit breaker to the fallback path. Default 5.
 	BreakerThreshold int
 	// BreakerCooldown is how long the breaker stays open before half-opening
-	// to trial requests. Default 10s.
+	// to trial requests. Default 10s. Disabling the cooldown while the
+	// breaker is enabled is rejected by Normalize (the breaker could never
+	// half-open).
 	BreakerCooldown time.Duration
 	// Fault, when non-nil, injects transient model errors at the injector's
 	// Serve site — the deterministic chaos hook the breaker tests and drills
-	// run against.
+	// run against. Shared across replicas under one lock.
 	Fault *fault.Injector
-	// CacheEntries bounds the plan-fingerprint prediction cache; identical
-	// plans answer from it without running inference. Default 4096 entries;
-	// negative disables caching.
+	// CacheEntries bounds each replica's plan-fingerprint prediction cache;
+	// identical plans answer from it without running inference. Default 4096
+	// entries per replica; negative disables caching.
 	CacheEntries int
 	// BatchWindow is how long a cache miss waits to coalesce with other
 	// concurrent misses into one batched forward pass. Only misses that
@@ -108,11 +120,52 @@ type Options struct {
 	// construction (per-tensor symmetric weights; see nn.QuantizeMat).
 	// Irreversible for the process lifetime of the models.
 	Quantize bool
+	// Replicas is the number of independent model replicas behind the
+	// consistent-hash router. 1 (the default) serves a Single instance with
+	// no routing layer; N > 1 snapshots the trained system and decodes N-1
+	// clones, so forward passes on distinct replicas run truly in parallel.
+	// Negative is rejected by Normalize.
+	Replicas int
+	// QueueDepth bounds each replica's concurrently admitted requests;
+	// overflow is shed with 503 before it queues behind a busy model.
+	// Default 32 per replica; negative disables the per-replica bound
+	// (MaxInFlight still applies globally).
+	QueueDepth int
+	// SnapshotPath is the default snapshot file for POST /v1/admin/reload
+	// and SIGHUP reloads (a pythia.System.Save bundle). Empty means reloads
+	// must name a path explicitly.
+	SnapshotPath string
+	// DrainTimeout bounds how long a superseded generation waits for its
+	// in-flight requests after a model swap before its batch collector is
+	// torn down (requests still complete on the direct path afterwards).
+	// Default 10s; negative is rejected by Normalize.
+	DrainTimeout time.Duration
 }
 
-// withDefaults resolves the zero/negative convention into effective values
-// (zero now always means "disabled").
-func (o Options) withDefaults() Options {
+// Normalize resolves the zero=default / negative=disable convention into
+// effective values and rejects contradictory combinations, mirroring the
+// pythia.Config and replay.Config convention. It is what New applies;
+// callers that want to fail gracefully (or log the resolved options, as
+// pythia-serve does) call it themselves first.
+//
+// Normalize resolves "disabled" to 0, so it is not idempotent for disabled
+// fields — normalize the original options, not an already-normalized copy.
+func (o Options) Normalize() (Options, error) {
+	if o.Replicas < 0 {
+		return o, fmt.Errorf("serve: Replicas must be >= 0, got %d", o.Replicas)
+	}
+	if o.DrainTimeout < 0 {
+		return o, fmt.Errorf("serve: negative DrainTimeout %v", o.DrainTimeout)
+	}
+	if o.BreakerThreshold > 0 && o.BreakerCooldown < 0 {
+		return o, fmt.Errorf("serve: BreakerThreshold %d with disabled BreakerCooldown: an open breaker could never half-open (disable the breaker with a negative threshold instead)", o.BreakerThreshold)
+	}
+	if o.MaxBatch > 1 && o.BatchWindow < 0 {
+		return o, fmt.Errorf("serve: MaxBatch %d with micro-batching disabled (negative BatchWindow)", o.MaxBatch)
+	}
+	if o.MaxBatch > 0 && o.MaxInFlight > 0 && o.MaxBatch > o.MaxInFlight {
+		return o, fmt.Errorf("serve: MaxBatch %d exceeds MaxInFlight %d: a full batch could never assemble", o.MaxBatch, o.MaxInFlight)
+	}
 	def := func(v, d time.Duration) time.Duration {
 		if v == 0 {
 			return d
@@ -152,73 +205,96 @@ func (o Options) withDefaults() Options {
 	case o.MaxBatch < 1:
 		o.MaxBatch = 1
 	}
-	return o
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	}
+	switch {
+	case o.QueueDepth == 0:
+		o.QueueDepth = 32
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o, nil
 }
 
-// Server answers prediction requests over one trained System.
+// Server answers prediction requests over an Inferencer — a Single trained
+// instance or a replica Pool. The Server owns the HTTP concerns (decoding,
+// planning, global shedding, timeouts, response rendering, observability);
+// the Inferencer owns everything that touches a model.
 type Server struct {
 	db      *catalog.Database
-	sys     *corepythia.System
+	inf     Inferencer
 	metrics *Metrics
 	opts    Options
-	breaker *breaker
 
-	// cache and batcher are the inference fast path: identical plans answer
-	// from cache (stage 1), concurrent distinct misses coalesce into batched
-	// forward passes (stage 2). Either may be nil when disabled.
-	cache   *predCache
-	batcher *batcher
-	// missInflight counts requests currently on the miss (inference) path;
-	// a miss only routes to the batcher when others are already inferring,
-	// so an idle server's p50 never pays the batch window.
-	missInflight atomic.Int64
+	// fgate is the chaos-injection gate shared with the Inferencer's
+	// replicas when the server built it (nil for NewWithInferencer).
+	fgate *faultGate
 
 	inflight  atomic.Int64
 	draining  atomic.Bool
-	faultMu   sync.Mutex // fault.Injector is not synchronized
 	closeOnce sync.Once
 }
 
-// New assembles a server over a database and its trained system. A nil
-// metrics hub gets a fresh one (with its own event counters); pass the hub
-// whose Events() you wired into the system's Config.Recorder to surface
-// workload-matching and replay events on /metrics. Zero Options fields get
-// defaults; see Options for the disable convention.
-func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Options) *Server {
+// New assembles a server over a database and its trained system, building a
+// Single instance or a replica Pool from Options.Replicas. A nil metrics hub
+// gets a fresh one (with its own event counters); pass the hub whose
+// Events() you wired into the system's Config.Recorder to surface
+// workload-matching and replay events on /metrics. Options are normalized
+// (see Options.Normalize); invalid combinations are errors.
+func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Options) (*Server, error) {
+	norm, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	if metrics == nil {
 		metrics = NewMetrics(nil)
 	}
-	opts = opts.withDefaults()
-	s := &Server{
-		db: db, sys: sys, metrics: metrics, opts: opts,
-		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
-	}
-	if opts.CacheEntries > 0 {
-		s.cache = newPredCache(opts.CacheEntries, metrics.Events())
-	}
-	if opts.BatchWindow > 0 && opts.MaxBatch > 1 {
-		s.batcher = newBatcher(opts.BatchWindow, opts.MaxBatch)
-	}
-	if opts.Quantize {
-		for _, tw := range sys.Workloads() {
-			tw.Pred.Quantize()
+	fgate := &faultGate{inj: norm.Fault}
+	var inf Inferencer
+	if norm.Replicas > 1 {
+		pool, err := newPool(db, sys, metrics, fgate, norm)
+		if err != nil {
+			return nil, err
 		}
+		inf = pool
+	} else {
+		inf = newSingle(db, sys, metrics, fgate, norm)
 	}
-	return s
+	return &Server{db: db, inf: inf, metrics: metrics, opts: norm, fgate: fgate}, nil
 }
 
-// Close stops the micro-batching collector (requests keep working on the
-// direct path afterwards). Safe to call more than once.
+// NewWithInferencer assembles a server over an externally built Inferencer —
+// the seam server tests use to stub inference without training anything, and
+// the hook for alternative model tiers. Options are normalized the same way
+// as New, but topology fields (Replicas, Quantize) are the Inferencer's
+// business and ignored here.
+func NewWithInferencer(db *catalog.Database, inf Inferencer, metrics *Metrics, opts Options) (*Server, error) {
+	norm, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if metrics == nil {
+		metrics = NewMetrics(nil)
+	}
+	return &Server{db: db, inf: inf, metrics: metrics, opts: norm}, nil
+}
+
+// Close tears down the inferencer's background machinery (micro-batch
+// collectors; requests keep working on the direct path afterwards). Safe to
+// call more than once.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() {
-		if s.batcher != nil {
-			s.batcher.close()
-		}
-	})
+	s.closeOnce.Do(func() { s.inf.Close() })
 }
 
 // Options returns the server's resolved effective options.
 func (s *Server) Options() Options { return s.opts }
+
+// Inferencer returns the model tier behind the server.
+func (s *Server) Inferencer() Inferencer { return s.inf }
 
 // SetDraining flips the server's draining flag: /v1/healthz answers 503 so
 // load balancers stop routing here while in-flight requests finish (the
@@ -231,13 +307,31 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Metrics returns the server's metrics hub.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// setFault swaps the chaos injector on a live server (nil clears it).
+// Test hook; production arms Options.Fault at construction.
+func (s *Server) setFault(inj *fault.Injector) { s.fgate.set(inj) }
+
+// inst returns the current first replica for tests that reach into the
+// model path (cache, batcher, breaker state). Nil for stubbed Inferencers.
+func (s *Server) inst() *instance {
+	switch v := s.inf.(type) {
+	case *Single:
+		return v.cur.Load()
+	case *Pool:
+		return v.cur.Load().instances[0]
+	}
+	return nil
+}
+
 // Handler builds the full HTTP routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	versioned := map[string]http.HandlerFunc{
-		"predict": s.shed(s.handlePredict),
-		"explain": s.shed(s.handleExplain),
-		"healthz": s.handleHealth,
+		"predict":        s.shed(s.handlePredict),
+		"explain":        s.shed(s.handleExplain),
+		"healthz":        s.handleHealth,
+		"admin/reload":   s.handleReload,
+		"admin/replicas": s.handleReplicas,
 	}
 	for name, h := range versioned {
 		mux.HandleFunc("/v1/"+name, s.metrics.instrument(name, h))
@@ -279,17 +373,6 @@ func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// serveFault draws the injector's Serve site under a lock (sim.Rand is not
-// synchronized and handlers run concurrently).
-func (s *Server) serveFault() bool {
-	if s.opts.Fault == nil {
-		return false
-	}
-	s.faultMu.Lock()
-	defer s.faultMu.Unlock()
-	return s.opts.Fault.Fire(fault.Serve, 0)
-}
-
 type errorEnvelope struct {
 	Error errorInfo `json:"error"`
 }
@@ -315,15 +398,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 type predictResponse struct {
-	Workload  string     `json:"workload"`
-	Fallback  bool       `json:"fallback"`
-	Cached    bool       `json:"cached,omitempty"`   // answered from the prediction cache (zero inference)
-	Degraded  string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
-	Pages     []pageJSON `json:"pages"`
-	PageCount int        `json:"page_count"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Plan      string     `json:"plan,omitempty"`
-	Tokens    []string   `json:"tokens,omitempty"`
+	Workload   string     `json:"workload"`
+	Fallback   bool       `json:"fallback"`
+	Cached     bool       `json:"cached,omitempty"`   // answered from the prediction cache (zero inference)
+	Degraded   string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
+	Replica    int        `json:"replica"`            // serving replica index (-1 = never routed)
+	Generation uint64     `json:"generation"`         // model generation that answered
+	Pages      []pageJSON `json:"pages"`
+	PageCount  int        `json:"page_count"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	Plan       string     `json:"plan,omitempty"`
+	Tokens     []string   `json:"tokens,omitempty"`
 }
 
 type pageJSON struct {
@@ -378,96 +463,44 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
-	resp := predictResponse{}
-	tw := s.sys.Match(q)
-
-	// Stage 1: prediction cache. Checked before the breaker and fault hooks —
-	// a hit performs zero inference and cannot fail, so cached plans keep
-	// answering even while the model path is degraded.
-	var fp uint64
-	cacheable := tw != nil && s.cache != nil
-	if cacheable {
-		fp = fingerprint(tw.Name, tw.Pred.EncodePlan(root))
-		if pages, hit := s.cache.get(fp); hit {
-			s.metrics.markCache(true)
-			resp.Workload = tw.Name
-			resp.Cached = true
-			s.writePages(&resp, pages)
-			resp.PageCount = len(resp.Pages)
-			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-			s.metrics.observePrediction(resp.PageCount, false)
-			writeJSON(w, resp)
-			return
-		}
-		s.metrics.markCache(false)
+	pred, err := s.inf.Predict(ctx, q, root)
+	if err != nil {
+		s.writePredictError(w, err)
+		return
 	}
-
-	if tw != nil && !s.breaker.allow() {
-		// Breaker open: answer from the fallback path without touching the
-		// model. The client still gets a well-formed (empty) prediction —
-		// prefetching is advisory, so degraded beats unavailable.
-		resp.Degraded = "breaker_open"
-		tw = nil
+	resp := predictResponse{
+		Workload:   pred.Workload,
+		Fallback:   pred.Fallback,
+		Cached:     pred.Cached,
+		Degraded:   pred.Degraded,
+		Replica:    pred.Replica,
+		Generation: pred.Generation,
 	}
-	if tw != nil {
-		if s.serveFault() {
-			s.breaker.failure()
-			writeError(w, http.StatusInternalServerError, CodeModelError, "transient model error (injected)")
-			return
-		}
-		resp.Workload = tw.Name
-		pages, ok := s.infer(ctx, w, tw, root)
-		if !ok {
-			return
-		}
-		if cacheable {
-			// Only successful inferences populate the cache; faulted or
-			// timed-out requests never do, so the cache cannot serve poison.
-			s.cache.put(fp, pages)
-		}
-		s.writePages(&resp, pages)
-	} else {
-		resp.Fallback = true
-	}
+	s.writePages(&resp, pred.Pages)
 	resp.PageCount = len(resp.Pages)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.metrics.observePrediction(resp.PageCount, resp.Fallback)
 	writeJSON(w, resp)
 }
 
-// infer runs the miss (inference) path. Stage 2 routing: a miss that arrives
-// while other misses are in flight joins the micro-batcher; otherwise it
-// runs the single-plan inference directly, so an idle server never pays the
-// batch window. Either way the slow step runs off the handler goroutine so a
-// disconnected client (or an expired budget) aborts the wait, not the work.
-// On timeout or disconnect infer writes the error response itself and
-// reports ok=false.
-func (s *Server) infer(ctx context.Context, w http.ResponseWriter, tw *corepythia.Trained, root *plan.Node) (pages []storage.PageID, ok bool) {
-	n := s.missInflight.Add(1)
-	defer s.missInflight.Add(-1)
-	done := make(chan batchRes, 1)
-	if !(n > 1 && s.batcher != nil && s.batcher.enqueue(batchReq{tw: tw, root: root, res: done})) {
-		go func() { done <- batchRes{pages: tw.Pred.PredictParallel(root), size: 1} }()
-	}
-	select {
-	case res := <-done:
-		s.breaker.success()
-		if rec := s.metrics.Events(); rec != nil {
-			rec.Record(obs.Event{Kind: obs.InferenceRun})
-			if res.size > 1 {
-				rec.Record(obs.Event{Kind: obs.InferenceBatched})
-			}
-		}
-		return s.sys.LimitPrefetch(res.pages), true
-	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.metrics.timeouts.Add(1)
-			s.breaker.failure()
-			writeError(w, http.StatusGatewayTimeout, CodeDeadline, "inference exceeded the request timeout")
-		} else {
-			writeError(w, StatusClientClosedRequest, CodeClientGone, ctx.Err().Error())
-		}
-		return nil, false
+// writePredictError maps Inferencer sentinel errors onto the HTTP error
+// contract: replica saturation → 503, injected model faults → 500, expired
+// budgets → 504, disconnected clients → 499.
+func (s *Server) writePredictError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.metrics.sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"routed replica's work queue is full; retry shortly")
+	case errors.Is(err, errModelFault):
+		writeError(w, http.StatusInternalServerError, CodeModelError, "transient model error (injected)")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeDeadline, "inference exceeded the request timeout")
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, CodeClientGone, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, CodeModelError, err.Error())
 	}
 }
 
@@ -491,10 +524,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, StatusClientClosedRequest, CodeClientGone, err.Error())
 		return
 	}
-	writeJSON(w, predictResponse{
-		Plan:   root.Display(),
-		Tokens: serialize.Serialize(root, serialize.DefaultConfig()),
-	})
+	e := s.inf.Explain(root)
+	writeJSON(w, predictResponse{Plan: e.Plan, Tokens: e.Tokens, Replica: -1})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -508,7 +539,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Params int    `json:"params"`
 	}
 	var info []workloadInfo
-	for _, tw := range s.sys.Workloads() {
+	for _, tw := range s.inf.Workloads() {
 		info = append(info, workloadInfo{
 			Name: tw.Name, Models: len(tw.Pred.Models()), Params: tw.Pred.ParamCount(),
 		})
@@ -557,11 +588,15 @@ type statsResponse struct {
 	Timeouts       uint64            `json:"inference_timeouts"`
 	BreakerState   string            `json:"breaker_state"`
 	Draining       bool              `json:"draining"`
+	Generation     uint64            `json:"generation"`
+	Swaps          uint64            `json:"swaps"`
+	Replicas       []ReplicaStatus   `json:"replicas"`
 	PredCache      *predCacheStats   `json:"predcache,omitempty"`
 	Batching       *batchingStats    `json:"batching,omitempty"`
 }
 
-// predCacheStats is the /stats view of the prediction cache.
+// predCacheStats is the /stats view of the prediction caches, summed across
+// replicas.
 type predCacheStats struct {
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
@@ -570,12 +605,25 @@ type predCacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// batchingStats is the /stats view of the micro-batcher.
+// batchingStats is the /stats view of the micro-batchers, summed across
+// replicas.
 type batchingStats struct {
 	WindowMS        float64 `json:"window_ms"`
 	MaxBatch        int     `json:"max_batch"`
 	Batches         uint64  `json:"batches"`
 	BatchedRequests uint64  `json:"batched_requests"`
+}
+
+// worstBreakerState returns the most-degraded breaker state across replicas
+// (open > half_open > closed) — the single-gauge view a fleet dashboard
+// alerts on; per-replica states are in the replicas rows.
+func worstBreakerState(st InfStatus) (value int, name string) {
+	for _, r := range st.Replicas {
+		if r.BreakerValue > value {
+			value = r.BreakerValue
+		}
+	}
+	return value, breakerStateNames[value]
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -585,6 +633,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.metrics
 	snap := m.events.Snapshot()
+	st := s.inf.Status()
+	_, breakerName := worstBreakerState(st)
 	resp := statsResponse{
 		UptimeSeconds:  m.Uptime().Seconds(),
 		Build:          m.Build(),
@@ -598,29 +648,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		OSHitRatio:     snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
 		Shed:           m.sheds.Load(),
 		Timeouts:       m.timeouts.Load(),
-		BreakerState:   s.breaker.State(),
+		BreakerState:   breakerName,
 		Draining:       s.draining.Load(),
+		Generation:     st.Generation,
+		Swaps:          st.Swaps,
+		Replicas:       st.Replicas,
 	}
 	if resp.Predictions > 0 {
 		resp.FallbackRate = float64(resp.Fallbacks) / float64(resp.Predictions)
 		resp.AvgSetSize = float64(resp.PredictedPages) / float64(resp.Predictions)
 	}
-	if s.cache != nil {
-		resp.PredCache = &predCacheStats{
-			Entries:   s.cache.len(),
-			Capacity:  s.cache.capacity(),
-			Hits:      s.cache.hits.Load(),
-			Misses:    s.cache.misses.Load(),
-			Evictions: s.cache.evictions.Load(),
+	if s.opts.CacheEntries > 0 {
+		pc := &predCacheStats{}
+		for _, r := range st.Replicas {
+			pc.Entries += r.CacheEntries
+			pc.Capacity += r.CacheCapacity
+			pc.Hits += r.CacheHits
+			pc.Misses += r.CacheMisses
+			pc.Evictions += r.CacheEvictions
 		}
+		resp.PredCache = pc
 	}
-	if s.batcher != nil {
-		resp.Batching = &batchingStats{
-			WindowMS:        float64(s.batcher.window.Microseconds()) / 1000,
-			MaxBatch:        s.batcher.maxBatch,
-			Batches:         s.batcher.batches.Load(),
-			BatchedRequests: s.batcher.batched.Load(),
+	if s.opts.BatchWindow > 0 && s.opts.MaxBatch > 1 {
+		bt := &batchingStats{
+			WindowMS: float64(s.opts.BatchWindow.Microseconds()) / 1000,
+			MaxBatch: s.opts.MaxBatch,
 		}
+		for _, r := range st.Replicas {
+			bt.Batches += r.Batches
+			bt.BatchedRequests += r.BatchedReqs
+		}
+		resp.Batching = bt
 	}
 	writeJSON(w, resp)
 }

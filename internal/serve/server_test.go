@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/pythia-db/pythia/internal/catalog"
 	"github.com/pythia-db/pythia/internal/dsb"
 	"github.com/pythia-db/pythia/internal/model"
 	"github.com/pythia-db/pythia/internal/predictor"
@@ -19,12 +20,24 @@ import (
 )
 
 // Training is the slow part of the fixture, so every test shares one server
-// (handlers are concurrency-safe by design).
+// (handlers are concurrency-safe by design). fixtureSys is kept alongside the
+// server so derived servers (resilience, fast path, pool) can wrap the same
+// trained system without retraining.
 var (
 	fixtureOnce sync.Once
 	fixtureSrv  *Server
+	fixtureSys  *corepythia.System
 	fixtureW    *workload.Workload
 )
+
+func mustServer(t testing.TB, db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Options) *Server {
+	t.Helper()
+	srv, err := New(db, sys, metrics, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
 
 func testServer(t testing.TB) (*Server, *workload.Workload) {
 	t.Helper()
@@ -44,7 +57,8 @@ func testServer(t testing.TB) (*Server, *workload.Workload) {
 		cfg.Recorder = metrics.Events()
 		sys := corepythia.New(g.DB(), cfg)
 		sys.Train("t91", w.Instances)
-		fixtureSrv = New(g.DB(), sys, metrics, Options{})
+		fixtureSrv = mustServer(t, g.DB(), sys, metrics, Options{})
+		fixtureSys = sys
 		fixtureW = w
 	})
 	return fixtureSrv, fixtureW
