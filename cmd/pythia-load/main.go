@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"github.com/pythia-db/pythia/internal/dsb"
+	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
 	"github.com/pythia-db/pythia/internal/serve"
@@ -70,6 +71,17 @@ func main() {
 		swapAt      = flag.Float64("swap-at", 0, "fraction of -duration after which to POST /v1/admin/reload (0 = no swap; self-hosted mode)")
 		out         = flag.String("out", "BENCH_load.json", "report path")
 		allowErrors = flag.Bool("allow-errors", false, "exit 0 even if some requests answered non-2xx")
+
+		maxP99       = flag.Duration("max-p99", 0, "fail (exit nonzero) if any sweep point's p99 exceeds this (0 = no gate)")
+		maxErrorRate = flag.Float64("max-error-rate", -1, "fail (exit nonzero) if any sweep point's error rate (errors/requests) exceeds this fraction (negative = no gate)")
+
+		chaosReplica   = flag.Int("chaos-replica", -1, "self-hosted chaos drill: replica index whose inferences fail mid-run (negative = off)")
+		chaosRate      = flag.Float64("chaos-rate", 1, "fault probability for the -chaos-replica drill")
+		chaosAt        = flag.Float64("chaos-at", 0.25, "fraction of -duration after which the replica fault arms")
+		chaosClear     = flag.Float64("chaos-clear", 0.6, "fraction of -duration after which the replica fault clears (recovery window; 0 = never clears)")
+		expectRecovery = flag.Bool("expect-recovery", false, "fail unless /stats shows at least one replica quarantine AND one recovery (use with -chaos-replica)")
+		brkCooldown    = flag.Duration("breaker-cooldown", 0, "self-hosted breaker cooldown override (0 = serve default; chaos drills want one that fits inside -duration)")
+		quarBackoff    = flag.Duration("quarantine-backoff", 0, "self-hosted quarantine probe backoff override (0 = serve default)")
 	)
 	flag.Parse()
 
@@ -82,6 +94,20 @@ func main() {
 	}
 	if *target != "" && *swapAt > 0 {
 		log.Fatal("pythia-load: -swap-at needs self-hosted mode (it must save a snapshot to swap to)")
+	}
+	if *chaosReplica >= 0 {
+		if *target != "" {
+			log.Fatal("pythia-load: -chaos-replica needs self-hosted mode (it retargets the in-process fault injector)")
+		}
+		if *chaosRate < 0 || *chaosRate > 1 {
+			log.Fatalf("pythia-load: -chaos-rate %g outside [0, 1]", *chaosRate)
+		}
+		if *chaosClear > 0 && *chaosClear <= *chaosAt {
+			log.Fatal("pythia-load: -chaos-clear must be after -chaos-at")
+		}
+	}
+	if *expectRecovery && *chaosReplica < 0 {
+		log.Fatal("pythia-load: -expect-recovery needs -chaos-replica")
 	}
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
@@ -103,21 +129,41 @@ func main() {
 		DurationSec: duration.Seconds(),
 	}
 	failed := false
+	gateFailed := false
 	for _, replicas := range sweepCounts {
 		res, err := runPoint(pointConfig{
 			target: *target, gen: gen, sys: sys, replicas: replicas,
 			cacheEntries: *cacheFlag, corpus: corpus, qps: *qps,
 			concurrency: *concurrency, duration: *duration,
 			repeat: *repeat, hotSet: *hotSet, swapAt: *swapAt, seed: *seed,
+			chaosReplica: *chaosReplica, chaosRate: *chaosRate,
+			chaosAt: *chaosAt, chaosClear: *chaosClear,
+			breakerCooldown: *brkCooldown, quarantineBackoff: *quarBackoff,
 		})
 		if err != nil {
 			log.Fatalf("pythia-load: replicas=%d: %v", replicas, err)
 		}
 		report.Results = append(report.Results, res)
-		log.Printf("replicas=%d: %.0f req/s, p50=%.2fms p95=%.2fms p99=%.2fms, errors=%d shed=%d, cache-hit-rate=%.2f",
-			replicas, res.ThroughputRPS, res.P50MS, res.P95MS, res.P99MS, res.Errors, res.Shed, res.CacheHitRate)
+		log.Printf("replicas=%d: %.0f req/s, p50=%.2fms p95=%.2fms p99=%.2fms, errors=%d (rate %.4f) shed=%d failovers=%d, cache-hit-rate=%.2f",
+			replicas, res.ThroughputRPS, res.P50MS, res.P95MS, res.P99MS,
+			res.Errors, res.ErrorRate, res.Shed, res.Failovers, res.CacheHitRate)
 		if res.Errors > 0 {
 			failed = true
+		}
+		// Regression gates: breaches fail the run even when every response was
+		// a well-formed non-2xx the -allow-errors escape hatch would tolerate.
+		if *maxP99 > 0 && res.P99MS > float64(maxP99.Microseconds())/1000 {
+			log.Printf("GATE BREACH: replicas=%d p99 %.2fms > -max-p99 %s", replicas, res.P99MS, maxP99)
+			gateFailed = true
+		}
+		if *maxErrorRate >= 0 && res.ErrorRate > *maxErrorRate {
+			log.Printf("GATE BREACH: replicas=%d error rate %.4f > -max-error-rate %g", replicas, res.ErrorRate, *maxErrorRate)
+			gateFailed = true
+		}
+		if *expectRecovery && (res.Quarantines == 0 || res.Recoveries == 0) {
+			log.Printf("GATE BREACH: replicas=%d expected a quarantine+recovery cycle, saw quarantines=%d recoveries=%d",
+				replicas, res.Quarantines, res.Recoveries)
+			gateFailed = true
 		}
 	}
 	if len(report.Results) > 1 {
@@ -137,6 +183,9 @@ func main() {
 		log.Fatalf("pythia-load: %v", err)
 	}
 	log.Printf("wrote %s", *out)
+	if gateFailed {
+		log.Fatal("pythia-load: regression gate breached (see GATE BREACH lines above)")
+	}
 	if failed && !*allowErrors {
 		log.Fatal("pythia-load: some requests answered non-2xx (pass -allow-errors to tolerate)")
 	}
@@ -160,6 +209,7 @@ type loadResult struct {
 	Replicas      int               `json:"replicas"`
 	Requests      uint64            `json:"requests"`
 	Errors        uint64            `json:"errors"`
+	ErrorRate     float64           `json:"error_rate"`
 	Seconds       float64           `json:"seconds"`
 	ThroughputRPS float64           `json:"throughput_rps"`
 	P50MS         float64           `json:"p50_ms"`
@@ -171,7 +221,13 @@ type loadResult struct {
 	CacheMisses   uint64            `json:"cache_misses"`
 	Shed          uint64            `json:"requests_shed"`
 	Timeouts      uint64            `json:"inference_timeouts"`
+	Failovers     uint64            `json:"replica_failovers"`
+	Hedges        uint64            `json:"request_hedges"`
+	Quarantines   uint64            `json:"replica_quarantines"`
+	Probes        uint64            `json:"replica_probes"`
+	Recoveries    uint64            `json:"replica_recoveries"`
 	BreakerState  string            `json:"breaker_state"`
+	HealthState   string            `json:"health_state"`
 	Generation    uint64            `json:"generation"`
 	Swaps         uint64            `json:"swaps"`
 	SwapMS        float64           `json:"swap_ms,omitempty"`
@@ -191,6 +247,15 @@ type pointConfig struct {
 	hotSet       int
 	swapAt       float64
 	seed         uint64
+	chaosReplica int
+	chaosRate    float64
+	chaosAt      float64
+	chaosClear   float64
+
+	// breakerCooldown and quarantineBackoff override the serve defaults when
+	// positive — chaos drills need recovery cycles that fit inside -duration.
+	breakerCooldown   time.Duration
+	quarantineBackoff time.Duration
 }
 
 // latencyBounds is denser than the serve-side request histogram so p99
@@ -210,10 +275,14 @@ func runPoint(pc pointConfig) (loadResult, error) {
 	res := loadResult{Replicas: pc.replicas, StatusCounts: map[string]uint64{}}
 	base := pc.target
 	var snapPath string
+	var srv *serve.Server // self-hosted handle; chaos drills retarget its injector
 	if pc.target == "" {
-		srv, err := serve.New(pc.gen.DB(), pc.sys, serve.NewMetrics(nil), serve.Options{
-			Replicas:     pc.replicas,
-			CacheEntries: pc.cacheEntries,
+		var err error
+		srv, err = serve.New(pc.gen.DB(), pc.sys, serve.NewMetrics(nil), serve.Options{
+			Replicas:          pc.replicas,
+			CacheEntries:      pc.cacheEntries,
+			BreakerCooldown:   pc.breakerCooldown,
+			QuarantineBackoff: pc.quarantineBackoff,
 		})
 		if err != nil {
 			return res, err
@@ -312,6 +381,27 @@ func runPoint(pc pointConfig) (loadResult, error) {
 		}(g)
 	}
 
+	// Chaos drill: arm a replica-targeted fault plan partway through the run
+	// and (optionally) clear it later, leaving a recovery window in which the
+	// quarantined replica's backoff probes can re-admit it. The injected
+	// faults themselves never reach the client — the pool fails the shard
+	// over — so the drill asserts self-healing, not error tolerance.
+	if pc.chaosReplica >= 0 && srv != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(float64(pc.duration) * pc.chaosAt))
+			srv.SetFault(fault.New(fault.Plan{ReplicaRate: pc.chaosRate, ReplicaIndex: pc.chaosReplica}, pc.seed))
+			log.Printf("chaos: replica %d faulting at rate %g", pc.chaosReplica, pc.chaosRate)
+			if pc.chaosClear <= 0 {
+				return
+			}
+			time.Sleep(time.Duration(float64(pc.duration) * (pc.chaosClear - pc.chaosAt)))
+			srv.SetFault(nil)
+			log.Printf("chaos: replica %d fault cleared (recovery window)", pc.chaosReplica)
+		}()
+	}
+
 	if pc.swapAt > 0 && snapPath != "" {
 		swapDelay := time.Duration(float64(pc.duration) * pc.swapAt)
 		wg.Add(1)
@@ -339,6 +429,9 @@ func runPoint(pc pointConfig) (loadResult, error) {
 
 	res.Requests = requests.Load()
 	res.Errors = errCount.Load()
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	}
 	res.Seconds = elapsed.Seconds()
 	if res.Seconds > 0 {
 		res.ThroughputRPS = float64(res.Requests) / res.Seconds
@@ -383,11 +476,15 @@ func scrapeStats(client *http.Client, base string, res *loadResult) error {
 		return fmt.Errorf("stats status %d", resp.StatusCode)
 	}
 	var st struct {
-		Shed         uint64 `json:"requests_shed"`
-		Timeouts     uint64 `json:"inference_timeouts"`
-		BreakerState string `json:"breaker_state"`
-		Generation   uint64 `json:"generation"`
-		Swaps        uint64 `json:"swaps"`
+		Shed         uint64            `json:"requests_shed"`
+		Timeouts     uint64            `json:"inference_timeouts"`
+		Failovers    uint64            `json:"replica_failovers"`
+		Hedges       uint64            `json:"request_hedges"`
+		BreakerState string            `json:"breaker_state"`
+		HealthState  string            `json:"health_state"`
+		Generation   uint64            `json:"generation"`
+		Swaps        uint64            `json:"swaps"`
+		Events       map[string]uint64 `json:"events"`
 		PredCache    *struct {
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
@@ -398,9 +495,15 @@ func scrapeStats(client *http.Client, base string, res *loadResult) error {
 	}
 	res.Shed = st.Shed
 	res.Timeouts = st.Timeouts
+	res.Failovers = st.Failovers
+	res.Hedges = st.Hedges
 	res.BreakerState = st.BreakerState
+	res.HealthState = st.HealthState
 	res.Generation = st.Generation
 	res.Swaps = st.Swaps
+	res.Quarantines = st.Events["replica_quarantined"]
+	res.Probes = st.Events["replica_probe"]
+	res.Recoveries = st.Events["replica_recovered"]
 	if st.PredCache != nil {
 		res.CacheHits = st.PredCache.Hits
 		res.CacheMisses = st.PredCache.Misses

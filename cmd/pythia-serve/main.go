@@ -73,6 +73,11 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 32, "per-replica bounded work queue (negative disables)")
 		snapshot      = flag.String("snapshot", "", "model snapshot path: loaded instead of training when it exists, written after training otherwise; SIGHUP and /v1/admin/reload swap from it (empty = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long a superseded model generation drains after a swap")
+		quarThreshold = flag.Int("quarantine-threshold", 5, "sliding-window model-path failures that quarantine a replica (negative disables health tracking)")
+		quarBackoff   = flag.Duration("quarantine-backoff", time.Second, "initial probe backoff for a quarantined replica (doubles per failed probe, capped at 16x)")
+		quarProbes    = flag.Int("quarantine-probes", 3, "consecutive probe successes that re-admit a quarantined replica")
+		maxFailovers  = flag.Int("max-failovers", 2, "ring successors a request may fail over to past an unhealthy replica (negative disables failover)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "floor for the p95-derived request-hedging delay; a second attempt races on the ring successor (0 = hedging off; needs -replicas > 1)")
 		faultPlan     = flag.String("fault-plan", "", "fault-injection plan for chaos drills, e.g. serve=0.2 (empty = none)")
 		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. localhost:6060 (empty = off)")
@@ -148,20 +153,25 @@ func main() {
 	}
 
 	srv, err := serve.New(gen.DB(), sys, metrics, serve.Options{
-		RequestTimeout:   *reqTimeout,
-		MaxInFlight:      *maxInflight,
-		MaxBodyBytes:     *maxBody,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		Fault:            inj,
-		CacheEntries:     *cacheEntries,
-		BatchWindow:      *batchWindow,
-		MaxBatch:         *maxBatch,
-		Quantize:         *quantize,
-		Replicas:         *replicas,
-		QueueDepth:       *queueDepth,
-		SnapshotPath:     *snapshot,
-		DrainTimeout:     *drainTimeout,
+		RequestTimeout:      *reqTimeout,
+		MaxInFlight:         *maxInflight,
+		MaxBodyBytes:        *maxBody,
+		BreakerThreshold:    *brkThreshold,
+		BreakerCooldown:     *brkCooldown,
+		Fault:               inj,
+		CacheEntries:        *cacheEntries,
+		BatchWindow:         *batchWindow,
+		MaxBatch:            *maxBatch,
+		Quantize:            *quantize,
+		Replicas:            *replicas,
+		QueueDepth:          *queueDepth,
+		SnapshotPath:        *snapshot,
+		DrainTimeout:        *drainTimeout,
+		QuarantineThreshold: *quarThreshold,
+		QuarantineBackoff:   *quarBackoff,
+		QuarantineProbes:    *quarProbes,
+		MaxFailovers:        *maxFailovers,
+		HedgeAfter:          *hedgeAfter,
 	})
 	if err != nil {
 		log.Fatalf("pythia-serve: %v", err)
@@ -172,10 +182,12 @@ func main() {
 	// protections, fast-path, and topology configuration are visible in its
 	// logs.
 	eff := srv.Options()
-	log.Printf("effective options: request-timeout=%s max-inflight=%d max-body=%d breaker-threshold=%d breaker-cooldown=%s cache-entries=%d batch-window=%s max-batch=%d quantize=%v replicas=%d queue-depth=%d drain-timeout=%s snapshot=%q",
+	log.Printf("effective options: request-timeout=%s max-inflight=%d max-body=%d breaker-threshold=%d breaker-cooldown=%s cache-entries=%d batch-window=%s max-batch=%d quantize=%v replicas=%d queue-depth=%d drain-timeout=%s snapshot=%q quarantine-threshold=%d quarantine-backoff=%s quarantine-probes=%d max-failovers=%d hedge-after=%s",
 		eff.RequestTimeout, eff.MaxInFlight, eff.MaxBodyBytes, eff.BreakerThreshold,
 		eff.BreakerCooldown, eff.CacheEntries, eff.BatchWindow, eff.MaxBatch, eff.Quantize,
-		eff.Replicas, eff.QueueDepth, eff.DrainTimeout, eff.SnapshotPath)
+		eff.Replicas, eff.QueueDepth, eff.DrainTimeout, eff.SnapshotPath,
+		eff.QuarantineThreshold, eff.QuarantineBackoff, eff.QuarantineProbes,
+		eff.MaxFailovers, eff.HedgeAfter)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// SIGHUP is the operator's model-roll signal: swap the serving models
@@ -259,17 +271,10 @@ func loadSnapshot(gen *dsb.Generator, cfg corepythia.Config, path string) (*core
 }
 
 // saveSnapshot persists the trained system for later -snapshot starts and
-// SIGHUP / admin reloads.
+// SIGHUP / admin reloads. SaveFile is atomic (temp + fsync + rename), so a
+// crash mid-save can never tear a snapshot a reload would then trip over.
 func saveSnapshot(sys *corepythia.System, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := sys.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return sys.SaveFile(path)
 }
 
 // writeTrace dumps the recorded HTTP spans as Perfetto-loadable JSON.

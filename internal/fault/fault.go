@@ -45,6 +45,10 @@ const (
 	Inference
 	// Serve: the HTTP serving tier's model path errors transiently.
 	Serve
+	// Replica: one chosen serving replica's inferences (and standby builds
+	// during a model swap) fail, leaving its siblings healthy — the site the
+	// pool's quarantine → failover → probe → recovery cycle is drilled with.
+	Replica
 	// SiteCount sizes per-site arrays; it must remain last.
 	SiteCount
 )
@@ -55,6 +59,7 @@ var siteNames = [SiteCount]string{
 	LatencySpike: "latency",
 	Inference:    "infer",
 	Serve:        "serve",
+	Replica:      "replica",
 }
 
 // String returns the site's short name (the key used by ParsePlan).
@@ -89,6 +94,14 @@ type Plan struct {
 	InferenceRate float64
 	// ServeRate is the probability the serving tier's model path errors.
 	ServeRate float64
+	// ReplicaRate is the probability the targeted replica's model path (or
+	// its standby build during a swap) errors. Unlike Serve, which fires on
+	// whichever replica draws next, Replica faults are pinned to the replica
+	// whose pool index equals ReplicaIndex — the "kill exactly this replica"
+	// knob chaos drills need.
+	ReplicaRate float64
+	// ReplicaIndex is the pool index Replica faults target (default 0).
+	ReplicaIndex int
 	// LatencyMultiplier scales a spiked read's latency (default 8×).
 	LatencyMultiplier float64
 	// Windows script rate overrides on the virtual timeline.
@@ -110,6 +123,8 @@ func (p *Plan) rate(site Site, at sim.Time) float64 {
 		r = p.InferenceRate
 	case Serve:
 		r = p.ServeRate
+	case Replica:
+		r = p.ReplicaRate
 	}
 	for _, w := range p.Windows {
 		if w.Site == site && !at.Before(w.From) && at.Before(w.To) {
@@ -123,7 +138,7 @@ func (p *Plan) rate(site Site, at sim.Time) float64 {
 func (p Plan) IsZero() bool {
 	return p.ExecReadRate == 0 && p.PrefetchReadRate == 0 &&
 		p.LatencySpikeRate == 0 && p.InferenceRate == 0 && p.ServeRate == 0 &&
-		len(p.Windows) == 0
+		p.ReplicaRate == 0 && len(p.Windows) == 0
 }
 
 // Validate rejects rates outside [0, 1] and malformed windows.
@@ -140,7 +155,7 @@ func (p Plan) Validate() error {
 	}{
 		{"exec", p.ExecReadRate}, {"prefetch", p.PrefetchReadRate},
 		{"latency", p.LatencySpikeRate}, {"infer", p.InferenceRate},
-		{"serve", p.ServeRate},
+		{"serve", p.ServeRate}, {"replica", p.ReplicaRate},
 	} {
 		if err := check(c.name, c.rate); err != nil {
 			return err
@@ -148,6 +163,9 @@ func (p Plan) Validate() error {
 	}
 	if p.LatencyMultiplier < 0 {
 		return fmt.Errorf("fault: negative latency multiplier %g", p.LatencyMultiplier)
+	}
+	if p.ReplicaIndex < 0 {
+		return fmt.Errorf("fault: negative replica index %d", p.ReplicaIndex)
 	}
 	for _, w := range p.Windows {
 		if w.Site >= SiteCount {
@@ -165,9 +183,12 @@ func (p Plan) Validate() error {
 
 // ParsePlan parses the CLI plan syntax: a comma-separated list of
 // "site=rate" entries over the site names exec, prefetch, latency, infer,
-// and serve, plus an optional "mult=N" latency multiplier. Example:
+// serve, and replica, plus an optional "mult=N" latency multiplier and a
+// "replica-id=N" index naming which replica the replica site targets.
+// Example:
 //
 //	exec=0.01,prefetch=0.05,latency=0.02,mult=8
+//	replica=1,replica-id=1
 //
 // An empty string parses to the zero (inject-nothing) plan. Scripted windows
 // have no CLI syntax; build the Plan in code for those.
@@ -196,10 +217,17 @@ func ParsePlan(s string) (Plan, error) {
 			p.InferenceRate = f
 		case "serve":
 			p.ServeRate = f
+		case "replica":
+			p.ReplicaRate = f
+		case "replica-id":
+			if f != float64(int(f)) || f < 0 {
+				return Plan{}, fmt.Errorf("fault: replica-id %q is not a non-negative integer", val)
+			}
+			p.ReplicaIndex = int(f)
 		case "mult":
 			p.LatencyMultiplier = f
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown plan key %q (have exec, prefetch, latency, infer, serve, mult)", key)
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q (have exec, prefetch, latency, infer, serve, replica, replica-id, mult)", key)
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -222,6 +250,10 @@ func (p Plan) String() string {
 	add("latency", p.LatencySpikeRate)
 	add("infer", p.InferenceRate)
 	add("serve", p.ServeRate)
+	add("replica", p.ReplicaRate)
+	if p.ReplicaRate != 0 {
+		add("replica-id", float64(p.ReplicaIndex))
+	}
 	add("mult", p.LatencyMultiplier)
 	out := strings.Join(parts, ",")
 	if len(p.Windows) > 0 {
@@ -312,6 +344,17 @@ func (i *Injector) Fire(site Site, at sim.Time) bool {
 		return true
 	}
 	return i.rngs[site].Float64() < r
+}
+
+// FireReplica decides whether the Replica site faults for the replica with
+// the given pool index. Only the plan's targeted ReplicaIndex ever draws, so
+// the chosen replica fails deterministically while its siblings' behaviour —
+// and every other site's stream — is untouched.
+func (i *Injector) FireReplica(id int, at sim.Time) bool {
+	if i == nil || id != i.plan.ReplicaIndex {
+		return false
+	}
+	return i.Fire(Replica, at)
 }
 
 // ReadLatency applies the tail-latency fault to one device read: base when

@@ -147,6 +147,64 @@ func TestParsePlanRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParsePlanReplicaSite(t *testing.T) {
+	p, err := ParsePlan("replica=1,replica-id=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReplicaRate != 1 || p.ReplicaIndex != 2 {
+		t.Fatalf("parsed %+v, want replica=1 replica-id=2", p)
+	}
+	if p.IsZero() {
+		t.Fatal("replica-only plan reported zero")
+	}
+	if s := p.String(); s != "replica=1,replica-id=2" {
+		t.Fatalf("plan renders %q", s)
+	}
+	// replica-id without a rate does not render (it is inert).
+	if s := (Plan{ReplicaIndex: 3}).String(); s != "none" {
+		t.Fatalf("rate-less replica-id renders %q", s)
+	}
+	for _, bad := range []string{"replica=2", "replica-id=1.5", "replica-id=-1", "replica-id=x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) did not error", bad)
+		}
+	}
+}
+
+func TestFireReplicaTargetsOneIndex(t *testing.T) {
+	i := New(Plan{ReplicaRate: 1, ReplicaIndex: 2}, 5)
+	for k := 0; k < 100; k++ {
+		if i.FireReplica(0, sim.Time(k)) || i.FireReplica(1, sim.Time(k)) {
+			t.Fatal("untargeted replica drew a fault")
+		}
+		if !i.FireReplica(2, sim.Time(k)) {
+			t.Fatal("targeted replica did not fault at rate 1")
+		}
+	}
+	// Partial rates stay deterministic across same-seed injectors.
+	a := New(Plan{ReplicaRate: 0.4, ReplicaIndex: 1}, 17)
+	b := New(Plan{ReplicaRate: 0.4, ReplicaIndex: 1}, 17)
+	fires := 0
+	const n = 20000
+	for k := 0; k < n; k++ {
+		fa := a.FireReplica(1, sim.Time(k))
+		if fb := b.FireReplica(1, sim.Time(k)); fa != fb {
+			t.Fatalf("same plan+seed diverged at draw %d", k)
+		}
+		if fa {
+			fires++
+		}
+	}
+	if got := float64(fires) / n; got < 0.36 || got > 0.44 {
+		t.Fatalf("replica fire rate %.3f, want ≈0.40", got)
+	}
+	var nilInj *Injector
+	if nilInj.FireReplica(0, 0) {
+		t.Fatal("nil injector fired replica fault")
+	}
+}
+
 func TestValidate(t *testing.T) {
 	good := Plan{ExecReadRate: 0.5, Windows: []Window{{Site: Serve, From: 0, To: 10, Rate: 1}}}
 	if err := good.Validate(); err != nil {
@@ -155,6 +213,8 @@ func TestValidate(t *testing.T) {
 	for _, bad := range []Plan{
 		{ExecReadRate: -0.1},
 		{ServeRate: 1.1},
+		{ReplicaRate: -0.5},
+		{ReplicaIndex: -1},
 		{LatencyMultiplier: -2},
 		{Windows: []Window{{Site: SiteCount, From: 0, To: 10, Rate: 0.5}}},
 		{Windows: []Window{{Site: ExecRead, From: 10, To: 10, Rate: 0.5}}},

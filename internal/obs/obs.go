@@ -146,6 +146,21 @@ const (
 	// InferenceBatched: the inference ran as part of a multi-request batched
 	// forward pass (a strict subset of InferenceRun).
 	InferenceBatched
+	// ReplicaDegraded: a pool replica's sliding error window crossed the
+	// degraded threshold; it keeps serving but is one step from quarantine.
+	ReplicaDegraded
+	// ReplicaQuarantined: a replica crossed the quarantine threshold (or
+	// failed a probation trial) and was removed from normal routing.
+	ReplicaQuarantined
+	// ReplicaProbe: a quarantined replica's backoff elapsed and one probe
+	// request was admitted to test it.
+	ReplicaProbe
+	// ReplicaRecovered: a quarantined replica passed its probation trials and
+	// rejoined normal routing.
+	ReplicaRecovered
+	// ReplicaFailover: a request moved past an unhealthy (or saturated, or
+	// faulting) replica to the next replica on the hash ring.
+	ReplicaFailover
 
 	// KindCount is the number of event kinds; counter arrays are sized by
 	// it. It must remain last.
@@ -189,6 +204,11 @@ var kindNames = [KindCount]string{
 	PredCacheEvict:        "predcache_evict",
 	InferenceRun:          "inference_run",
 	InferenceBatched:      "inference_batched",
+	ReplicaDegraded:       "replica_degraded",
+	ReplicaQuarantined:    "replica_quarantined",
+	ReplicaProbe:          "replica_probe",
+	ReplicaRecovered:      "replica_recovered",
+	ReplicaFailover:       "replica_failover",
 }
 
 // String returns the kind's snake_case name (stable: it is the label

@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	corepythia "github.com/pythia-db/pythia/internal/pythia"
 )
 
 // Admin error codes of the JSON error envelope.
 const (
-	CodeNoSnapshot   = "no_snapshot"
-	CodeReloadFailed = "reload_failed"
+	CodeNoSnapshot      = "no_snapshot"
+	CodeReloadFailed    = "reload_failed"
+	CodeSnapshotCorrupt = "snapshot_corrupt"
 )
 
 // reloadRequest is the optional POST /v1/admin/reload body. An absent or
@@ -82,12 +85,18 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	st, err := s.ReloadSnapshot(path)
 	if err != nil {
-		if errors.Is(err, errNoSnapshot) {
+		switch {
+		case errors.Is(err, errNoSnapshot):
 			writeError(w, http.StatusBadRequest, CodeNoSnapshot,
 				"no snapshot path configured; pass {\"path\": \"...\"} or start the server with -snapshot")
-			return
+		case errors.Is(err, corepythia.ErrSnapshotCorrupt), errors.Is(err, corepythia.ErrSnapshotVersion):
+			// The swap already rolled back; the old generation keeps serving.
+			// 422: the request was well-formed but the named snapshot is not
+			// processable — replace the file, not the request.
+			writeError(w, http.StatusUnprocessableEntity, CodeSnapshotCorrupt, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, CodeReloadFailed, err.Error())
 		}
-		writeError(w, http.StatusInternalServerError, CodeReloadFailed, err.Error())
 		return
 	}
 	writeJSON(w, reloadResponse{

@@ -106,6 +106,20 @@ func (b *breaker) failure() {
 	}
 }
 
+// blocked reports whether the breaker is open with an unelapsed cooldown —
+// the state in which routing to this replica is pointless, since every
+// prediction answers from the fallback path. Once the cooldown elapses,
+// blocked reports false even though the state is still open, so the pool
+// keeps routing the trial request that lets allow() half-open the breaker.
+func (b *breaker) blocked() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown
+}
+
 // stateValue returns the state as the gauge value (closed=0, half_open=1,
 // open=2).
 func (b *breaker) stateValue() int {

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+)
+
+// Replica health states, in gauge order (the value exported as
+// pythia_replica_health). Higher is sicker.
+const (
+	healthHealthy     = 0
+	healthDegraded    = 1
+	healthProbation   = 2
+	healthQuarantined = 3
+)
+
+var healthStateNames = [...]string{"healthy", "degraded", "probation", "quarantined"}
+
+// healthWindow is the sliding outcome window each replica's health tracker
+// keeps: the last healthWindow model-path outcomes (successes, failures, and
+// admission sheds) decide degradation and quarantine. Small and fixed so the
+// tracker is a ring of booleans, not a timestamped log.
+const healthWindow = 16
+
+// health is one replica's self-healing state machine, layered above the
+// circuit breaker. The breaker protects the model path inside a replica (trip
+// on consecutive errors, answer fallback); health governs whether the pool
+// routes to the replica at all:
+//
+//	healthy ──(window failures ≥ ⌈threshold/2⌉)──▶ degraded
+//	degraded ──(window failures ≥ threshold)────▶ quarantined
+//	quarantined ──(backoff elapses)─────────────▶ one probe admitted
+//	probe success ─────────────────────────────▶ probation
+//	probation ──(probes consecutive successes)──▶ healthy  [ReplicaRecovered]
+//	probe/probation failure ───────────────────▶ quarantined, backoff ×2
+//
+// Degraded replicas keep serving (the state is a leading indicator on
+// /stats); quarantined replicas receive no routed traffic — the ring fails
+// their shard over to successors — except for the single backoff-gated probe
+// that tests recovery. Outcomes recorded while quarantined can only be probe
+// outcomes, because probes are the only traffic admitted.
+//
+// Like the breaker, health never calls time.Now directly: the injected now
+// field lets tests drive backoff expiry by advancing a variable. A zero
+// threshold disables tracking entirely (the replica always reports healthy).
+type health struct {
+	threshold  int           // window failures that quarantine; 0 disables
+	degradeAt  int           // window failures that mark degraded
+	backoff    time.Duration // initial probe backoff
+	maxBackoff time.Duration // backoff doubling cap
+	probes     int           // consecutive probe successes to re-admit
+	rec        obs.Recorder
+	now        func() time.Time // injected clock; time.Now outside tests
+
+	mu            sync.Mutex
+	state         int
+	window        [healthWindow]bool // true = failure
+	windowLen     int
+	windowNext    int
+	failures      int // failures currently in the window
+	quarantinedAt time.Time
+	curBackoff    time.Duration
+	probeWins     int // consecutive probation successes
+}
+
+func newHealth(threshold int, backoff time.Duration, probes int, rec obs.Recorder) *health {
+	h := &health{
+		threshold:  threshold,
+		degradeAt:  (threshold + 1) / 2,
+		backoff:    backoff,
+		maxBackoff: 16 * backoff,
+		probes:     probes,
+		rec:        rec,
+		now:        time.Now,
+	}
+	if h.probes < 1 {
+		h.probes = 1
+	}
+	return h
+}
+
+//pythia:noalloc
+func (h *health) record(k obs.Kind) {
+	if h.rec != nil {
+		h.rec.Record(obs.Event{Kind: k, Query: obs.NoQuery})
+	}
+}
+
+// slide pushes one outcome into the window and returns the failure count.
+func (h *health) slide(failed bool) int {
+	if h.windowLen == healthWindow {
+		if h.window[h.windowNext] {
+			h.failures--
+		}
+	} else {
+		h.windowLen++
+	}
+	h.window[h.windowNext] = failed
+	if failed {
+		h.failures++
+	}
+	h.windowNext = (h.windowNext + 1) % healthWindow
+	return h.failures
+}
+
+// resetWindow clears the outcome window (used on recovery so one stale
+// failure cannot instantly re-degrade a just-readmitted replica).
+func (h *health) resetWindow() {
+	h.window = [healthWindow]bool{}
+	h.windowLen, h.windowNext, h.failures = 0, 0, 0
+}
+
+// success records one healthy model-path outcome (including prediction-cache
+// hits — a replica that answers from cache is serving its shard).
+func (h *health) success() {
+	if h == nil || h.threshold <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case healthQuarantined:
+		// The only admitted traffic was a probe; one success starts probation.
+		h.state = healthProbation
+		h.probeWins = 1
+		h.maybeRecover()
+	case healthProbation:
+		h.probeWins++
+		h.maybeRecover()
+	default:
+		if h.slide(false) < h.degradeAt && h.state == healthDegraded {
+			h.state = healthHealthy
+		}
+	}
+}
+
+// maybeRecover promotes a probation replica back to healthy once it has the
+// required consecutive successes. Caller holds h.mu.
+func (h *health) maybeRecover() {
+	if h.probeWins < h.probes {
+		return
+	}
+	h.state = healthHealthy
+	h.curBackoff = 0
+	h.probeWins = 0
+	h.resetWindow()
+	h.record(obs.ReplicaRecovered)
+}
+
+// failure records one failed model-path outcome (an inference fault, a
+// deadline miss, or an admission shed — a replica that cannot accept its
+// shard's traffic is unhealthy from the router's point of view).
+func (h *health) failure() {
+	if h == nil || h.threshold <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case healthQuarantined:
+		// A probe failed: stay quarantined and back off harder.
+		h.requarantine()
+	case healthProbation:
+		h.state = healthQuarantined
+		h.requarantine()
+		h.record(obs.ReplicaQuarantined)
+	default:
+		fails := h.slide(true)
+		if fails >= h.threshold {
+			h.state = healthQuarantined
+			h.curBackoff = 0
+			h.requarantine()
+			h.record(obs.ReplicaQuarantined)
+		} else if fails >= h.degradeAt && h.state == healthHealthy {
+			h.state = healthDegraded
+			h.record(obs.ReplicaDegraded)
+		}
+	}
+}
+
+// requarantine restarts the probe backoff clock, doubling the delay (capped)
+// so a persistently sick replica is probed ever less often. Caller holds
+// h.mu.
+func (h *health) requarantine() {
+	h.quarantinedAt = h.now()
+	h.probeWins = 0
+	if h.curBackoff == 0 {
+		h.curBackoff = h.backoff
+	} else if h.curBackoff < h.maxBackoff {
+		h.curBackoff *= 2
+	}
+	h.resetWindow()
+}
+
+// serving reports whether the replica may receive normally routed traffic
+// (everything but quarantined).
+func (h *health) serving() bool {
+	if h == nil || h.threshold <= 0 {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state != healthQuarantined
+}
+
+// allowProbe admits one probe request to a quarantined replica whose backoff
+// has elapsed. Admission restarts the backoff clock, so at most one probe is
+// in flight per backoff window regardless of traffic — the single-flight
+// guard cannot wedge, because it is a timer, not a flag an outcome must
+// clear.
+func (h *health) allowProbe() bool {
+	if h == nil || h.threshold <= 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != healthQuarantined {
+		return false
+	}
+	if h.now().Sub(h.quarantinedAt) < h.curBackoff {
+		return false
+	}
+	h.quarantinedAt = h.now()
+	h.record(obs.ReplicaProbe)
+	return true
+}
+
+// stateValue returns the state as the gauge value (healthy=0, degraded=1,
+// probation=2, quarantined=3).
+func (h *health) stateValue() int {
+	if h == nil || h.threshold <= 0 {
+		return healthHealthy
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// State returns the state's name for /stats.
+func (h *health) State() string { return healthStateNames[h.stateValue()] }

@@ -114,6 +114,7 @@ type ReplicaStatus struct {
 	InFlight       int64    `json:"in_flight"`
 	QueueDepth     int      `json:"queue_depth"`
 	Breaker        string   `json:"breaker"`
+	Health         string   `json:"health"`
 	CacheEntries   int      `json:"cache_entries"`
 	CacheCapacity  int      `json:"cache_capacity"`
 	CacheHits      uint64   `json:"cache_hits"`
@@ -127,6 +128,9 @@ type ReplicaStatus struct {
 	// BreakerValue is the breaker state as a gauge (closed=0, half_open=1,
 	// open=2), for aggregation on /metrics; the name is in Breaker.
 	BreakerValue int `json:"-"`
+	// HealthValue is the health state as a gauge (healthy=0, degraded=1,
+	// probation=2, quarantined=3); the name is in Health.
+	HealthValue int `json:"-"`
 }
 
 // faultGate serializes draws on the shared chaos injector (fault.Injector is
@@ -147,6 +151,38 @@ func (g *faultGate) fire() bool {
 		return false
 	}
 	return g.inj.Fire(fault.Serve, 0)
+}
+
+// fireModel draws the model-path fault decision for one replica: the shared
+// Serve site plus the replica-targeted Replica site. Both streams always draw
+// (no short-circuit), so enabling one site never shifts the other's
+// deterministic sequence.
+func (g *faultGate) fireModel(id int) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inj == nil {
+		return false
+	}
+	s := g.inj.Fire(fault.Serve, 0)
+	r := g.inj.FireReplica(id, 0)
+	return s || r
+}
+
+// fireReplica draws only the replica-targeted site — the hook Pool.Swap uses
+// to fail a chosen replica's standby build during a swap.
+func (g *faultGate) fireReplica(id int) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inj == nil {
+		return false
+	}
+	return g.inj.FireReplica(id, 0)
 }
 
 func (g *faultGate) set(inj *fault.Injector) {

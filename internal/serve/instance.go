@@ -37,6 +37,11 @@ type instance struct {
 	batcher *batcher
 	breaker *breaker
 
+	// health is the replica's self-healing state machine (see health.go):
+	// the pool consults it when routing, so a quarantined replica's shard
+	// fails over to ring successors until probes re-admit it.
+	health *health
+
 	// queue bounds concurrently admitted requests on this replica (nil =
 	// unbounded). Routing is by plan hash, not load, so a replica stuck on a
 	// slow inference sheds its own overflow instead of queueing unboundedly
@@ -59,6 +64,7 @@ func newInstance(id int, gen uint64, sys *corepythia.System, metrics *Metrics, f
 		id: id, gen: gen, sys: sys, opts: opts,
 		metrics: metrics, fgate: fgate, warm: warm,
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
+		health:  newHealth(opts.QuarantineThreshold, opts.QuarantineBackoff, opts.QuarantineProbes, metrics.Events()),
 	}
 	if opts.CacheEntries > 0 {
 		ins.cache = newPredCache(opts.CacheEntries, metrics.Events())
@@ -87,7 +93,11 @@ func (ins *instance) predict(ctx context.Context, q plan.Query, root *plan.Node,
 		case ins.queue <- struct{}{}:
 			defer func() { <-ins.queue }()
 		default:
+			// An admission shed counts as a health failure: a replica that
+			// cannot accept its shard's traffic is unhealthy from the
+			// router's point of view, whatever the cause.
 			ins.shed.Add(1)
+			ins.health.failure()
 			return p, ErrSaturated
 		}
 	}
@@ -111,7 +121,11 @@ func (ins *instance) predict(ctx context.Context, q plan.Query, root *plan.Node,
 		fp = fingerprint(tw.Name, tw.Pred.EncodePlan(root))
 		ins.warm.note(fp, q, root)
 		if pages, hit := ins.cache.get(fp); hit {
+			// Cache hits count as health successes: a replica answering its
+			// shard from cache is serving, and counting them keeps a probe
+			// that happens to hit the cache from wedging quarantine.
 			ins.metrics.markCache(true)
+			ins.health.success()
 			p.Workload = tw.Name
 			p.Cached = true
 			p.Pages = pages
@@ -131,8 +145,9 @@ func (ins *instance) predict(ctx context.Context, q plan.Query, root *plan.Node,
 		p.Fallback = true
 		return p, nil
 	}
-	if ins.fgate.fire() {
+	if ins.fgate.fireModel(ins.id) {
 		ins.breaker.failure()
+		ins.health.failure()
 		return p, errModelFault
 	}
 	p.Workload = tw.Name
@@ -165,6 +180,7 @@ func (ins *instance) infer(ctx context.Context, tw *corepythia.Trained, root *pl
 	select {
 	case res := <-done:
 		ins.breaker.success()
+		ins.health.success()
 		if rec := ins.metrics.Events(); rec != nil {
 			rec.Record(obs.Event{Kind: obs.InferenceRun})
 			if res.size > 1 {
@@ -174,8 +190,12 @@ func (ins *instance) infer(ctx context.Context, tw *corepythia.Trained, root *pl
 		return ins.sys.LimitPrefetch(res.pages), nil
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// A deadline miss is a model-path failure; a canceled request
+			// (client gone, or a hedge loser) says nothing about the replica
+			// and records neither way.
 			ins.metrics.timeouts.Add(1)
 			ins.breaker.failure()
+			ins.health.failure()
 		}
 		return nil, ctx.Err()
 	}
@@ -192,6 +212,8 @@ func (ins *instance) status() ReplicaStatus {
 		QueueDepth:   cap(ins.queue),
 		Breaker:      ins.breaker.State(),
 		BreakerValue: ins.breaker.stateValue(),
+		Health:       ins.health.State(),
+		HealthValue:  ins.health.stateValue(),
 		Workloads:    workloadNames(ins.sys),
 	}
 	for _, tw := range ins.sys.Workloads() {
@@ -209,6 +231,14 @@ func (ins *instance) status() ReplicaStatus {
 		st.BatchedReqs = ins.batcher.batched.Load()
 	}
 	return st
+}
+
+// serving reports whether the pool should route normal traffic here: the
+// replica is not quarantined and its breaker is not open inside an
+// unelapsed cooldown (a cooldown-elapsed open breaker still takes traffic —
+// the trial request is what lets it half-open).
+func (ins *instance) serving() bool {
+	return ins.health.serving() && !ins.breaker.blocked()
 }
 
 // close stops the replica's micro-batch collector (requests keep working on

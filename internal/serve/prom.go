@@ -105,6 +105,18 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_inference_timeouts_total counter")
 	fmt.Fprintf(w, "pythia_inference_timeouts_total %d\n", m.timeouts.Load())
 
+	fmt.Fprintln(w, "# HELP pythia_replica_failovers_total Requests rerouted past an unhealthy, saturated, or faulting replica to a ring successor.")
+	fmt.Fprintln(w, "# TYPE pythia_replica_failovers_total counter")
+	fmt.Fprintf(w, "pythia_replica_failovers_total %d\n", m.failovers.Load())
+
+	fmt.Fprintln(w, "# HELP pythia_request_hedges_total Hedge attempts launched after the hedge delay elapsed.")
+	fmt.Fprintln(w, "# TYPE pythia_request_hedges_total counter")
+	fmt.Fprintf(w, "pythia_request_hedges_total %d\n", m.hedges.Load())
+
+	fmt.Fprintln(w, "# HELP pythia_request_hedge_wins_total Hedged requests where the hedge attempt answered first.")
+	fmt.Fprintln(w, "# TYPE pythia_request_hedge_wins_total counter")
+	fmt.Fprintf(w, "pythia_request_hedge_wins_total %d\n", m.hedgeWins.Load())
+
 	// Inference fast path, summed across replicas. The families render whether
 	// or not the cache and batcher are enabled (zeros when disabled) so the
 	// exposition shape is independent of configuration.
@@ -149,6 +161,11 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE pythia_breaker_state gauge")
 	breakerValue, _ := worstBreakerState(st)
 	fmt.Fprintf(w, "pythia_breaker_state %d\n", breakerValue)
+
+	fmt.Fprintln(w, "# HELP pythia_replica_health Worst replica health state (0=healthy, 1=degraded, 2=probation, 3=quarantined).")
+	fmt.Fprintln(w, "# TYPE pythia_replica_health gauge")
+	healthValue, _ := worstHealthState(st)
+	fmt.Fprintf(w, "pythia_replica_health %d\n", healthValue)
 
 	fmt.Fprintln(w, "# HELP pythia_draining Whether the server is draining for shutdown.")
 	fmt.Fprintln(w, "# TYPE pythia_draining gauge")

@@ -134,7 +134,7 @@ func TestBreakerOpensHalfOpensCloses(t *testing.T) {
 	}
 
 	// Fault clears; the next trial succeeds and closes the breaker.
-	srv.setFault(nil)
+	srv.SetFault(nil)
 	now = now.Add(2 * time.Minute)
 	rr = doRequest(t, srv, http.MethodPost, "/v1/predict", matchedBody(t, w))
 	if rr.Code != http.StatusOK {

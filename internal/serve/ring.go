@@ -82,6 +82,51 @@ func (r *hashRing) lookup(fp uint64) int {
 	return r.points[lo].replica
 }
 
+// lookupN appends to dst the first n distinct replicas encountered walking
+// clockwise from the fingerprint's position: the owner first, then its
+// failover successors in ring order. Walking the ring (rather than numeric
+// index order) keeps failover affinity consistent — every request for the
+// same fingerprint fails over to the same successor, so the successor's cache
+// absorbs the sick replica's shard instead of scattering it. n is clamped to
+// the replica count; the returned slice is dst extended in place when its
+// capacity allows.
+func (r *hashRing) lookupN(fp uint64, dst []int, n int) []int {
+	fp = mix64(fp)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < fp {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var seen uint64 // replica-index bitmask; rings are far below 64 replicas
+	for i := 0; i < len(r.points) && n > 0; i++ {
+		rep := r.points[(lo+i)%len(r.points)].replica
+		if rep < 64 {
+			if seen&(1<<uint(rep)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(rep)
+		} else {
+			dup := false
+			for _, d := range dst {
+				if d == rep {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		dst = append(dst, rep)
+		n--
+	}
+	return dst
+}
+
 // replicas returns the replica count the ring was built for.
 func (r *hashRing) replicas() int {
 	n := 0

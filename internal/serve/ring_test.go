@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"reflect"
 	"strconv"
 	"testing"
 )
@@ -83,5 +84,40 @@ func TestRingSingleReplica(t *testing.T) {
 	}
 	if newRing(0).replicas() != 1 {
 		t.Fatal("zero-replica ring did not clamp to 1")
+	}
+}
+
+// TestRingLookupN: the failover order is the owner followed by distinct ring
+// successors — deterministic, duplicate-free, clamped to the replica count,
+// and always led by exactly what lookup returns.
+func TestRingLookupN(t *testing.T) {
+	a, b := newRing(4), newRing(4)
+	var buf [8]int
+	for _, fp := range testFingerprints(2048) {
+		order := a.lookupN(fp, buf[:0], 4)
+		if len(order) != 4 {
+			t.Fatalf("lookupN(%#x, 4) returned %d replicas", fp, len(order))
+		}
+		if order[0] != a.lookup(fp) {
+			t.Fatalf("lookupN(%#x)[0] = %d, lookup = %d — owner must lead", fp, order[0], a.lookup(fp))
+		}
+		seen := map[int]bool{}
+		for _, r := range order {
+			if r < 0 || r > 3 || seen[r] {
+				t.Fatalf("lookupN(%#x) = %v — out of range or duplicated", fp, order)
+			}
+			seen[r] = true
+		}
+		// Deterministic: an independently built ring produces the same order.
+		if other := b.lookupN(fp, nil, 4); !reflect.DeepEqual(order, other) {
+			t.Fatalf("rings disagree on %#x: %v vs %v", fp, order, other)
+		}
+		// n past the replica count clamps; a short n truncates the same order.
+		if over := a.lookupN(fp, nil, 99); !reflect.DeepEqual(order, over) {
+			t.Fatalf("lookupN(%#x, 99) = %v, want clamped %v", fp, over, order)
+		}
+		if two := a.lookupN(fp, nil, 2); !reflect.DeepEqual(order[:2], two) {
+			t.Fatalf("lookupN(%#x, 2) = %v, want prefix of %v", fp, two, order)
+		}
 	}
 }

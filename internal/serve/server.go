@@ -140,6 +140,32 @@ type Options struct {
 	// torn down (requests still complete on the direct path afterwards).
 	// Default 10s; negative is rejected by Normalize.
 	DrainTimeout time.Duration
+	// QuarantineThreshold is the failure count, within a replica's sliding
+	// outcome window, that quarantines the replica: the ring fails its shard
+	// over to successors and only backoff-gated probes reach it until probes
+	// succeed. Default 5 (half that marks the replica degraded); negative
+	// disables health tracking entirely.
+	QuarantineThreshold int
+	// QuarantineBackoff is the initial delay before a quarantined replica is
+	// probed; each failed probe doubles it (capped at 16×). Default 1s.
+	// Disabling the backoff while health tracking is enabled is rejected by
+	// Normalize (a quarantined replica could never be probed).
+	QuarantineBackoff time.Duration
+	// QuarantineProbes is how many consecutive probe successes re-admit a
+	// quarantined replica to normal routing. Default 3.
+	QuarantineProbes int
+	// MaxFailovers bounds the failover cascade: how many ring successors a
+	// request may try past its owning replica when the owner is quarantined,
+	// saturated, or faulting. Default 2; negative disables failover (requests
+	// fail exactly as pre-pool: 503 on saturation, 500 on faults).
+	MaxFailovers int
+	// HedgeAfter arms request hedging: when a pool prediction has waited this
+	// long (or the pool's observed p95 latency, whichever is larger), a
+	// second attempt launches on the ring successor and the first response
+	// wins, canceling the loser. Zero (the default) disables hedging — this
+	// field is opt-in, not zero=default. Requires Replicas > 1; negative is
+	// rejected by Normalize.
+	HedgeAfter time.Duration
 }
 
 // Normalize resolves the zero=default / negative=disable convention into
@@ -162,6 +188,15 @@ func (o Options) Normalize() (Options, error) {
 	}
 	if o.MaxBatch > 1 && o.BatchWindow < 0 {
 		return o, fmt.Errorf("serve: MaxBatch %d with micro-batching disabled (negative BatchWindow)", o.MaxBatch)
+	}
+	if o.QuarantineThreshold > 0 && o.QuarantineBackoff < 0 {
+		return o, fmt.Errorf("serve: QuarantineThreshold %d with disabled QuarantineBackoff: a quarantined replica could never be probed (disable health tracking with a negative threshold instead)", o.QuarantineThreshold)
+	}
+	if o.HedgeAfter < 0 {
+		return o, fmt.Errorf("serve: negative HedgeAfter %v", o.HedgeAfter)
+	}
+	if o.HedgeAfter > 0 && o.Replicas >= 0 && o.Replicas <= 1 {
+		return o, fmt.Errorf("serve: HedgeAfter %v requires Replicas > 1: a single replica has no successor to hedge on", o.HedgeAfter)
 	}
 	if o.MaxBatch > 0 && o.MaxInFlight > 0 && o.MaxBatch > o.MaxInFlight {
 		return o, fmt.Errorf("serve: MaxBatch %d exceeds MaxInFlight %d: a full batch could never assemble", o.MaxBatch, o.MaxInFlight)
@@ -216,6 +251,25 @@ func (o Options) Normalize() (Options, error) {
 	}
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = 10 * time.Second
+	}
+	switch {
+	case o.QuarantineThreshold == 0:
+		o.QuarantineThreshold = 5
+	case o.QuarantineThreshold < 0:
+		o.QuarantineThreshold = 0
+	}
+	o.QuarantineBackoff = def(o.QuarantineBackoff, time.Second)
+	switch {
+	case o.QuarantineProbes == 0:
+		o.QuarantineProbes = 3
+	case o.QuarantineProbes < 0:
+		o.QuarantineProbes = 1
+	}
+	switch {
+	case o.MaxFailovers == 0:
+		o.MaxFailovers = 2
+	case o.MaxFailovers < 0:
+		o.MaxFailovers = 0
 	}
 	return o, nil
 }
@@ -307,9 +361,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Metrics returns the server's metrics hub.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// setFault swaps the chaos injector on a live server (nil clears it).
-// Test hook; production arms Options.Fault at construction.
-func (s *Server) setFault(inj *fault.Injector) { s.fgate.set(inj) }
+// SetFault swaps the chaos injector on a live server (nil clears it).
+// Production arms Options.Fault at construction; chaos drills (tests,
+// cmd/pythia-load's -chaos-* flags) use this to clear or retarget injected
+// faults mid-run so recovery is observable.
+func (s *Server) SetFault(inj *fault.Injector) { s.fgate.set(inj) }
 
 // inst returns the current first replica for tests that reach into the
 // model path (cache, batcher, breaker state). Nil for stubbed Inferencers.
@@ -586,7 +642,11 @@ type statsResponse struct {
 	OSHitRatio     float64           `json:"oscache_hit_ratio"`
 	Shed           uint64            `json:"requests_shed"`
 	Timeouts       uint64            `json:"inference_timeouts"`
+	Failovers      uint64            `json:"replica_failovers"`
+	Hedges         uint64            `json:"request_hedges"`
+	HedgeWins      uint64            `json:"request_hedge_wins"`
 	BreakerState   string            `json:"breaker_state"`
+	HealthState    string            `json:"health_state"`
 	Draining       bool              `json:"draining"`
 	Generation     uint64            `json:"generation"`
 	Swaps          uint64            `json:"swaps"`
@@ -626,6 +686,18 @@ func worstBreakerState(st InfStatus) (value int, name string) {
 	return value, breakerStateNames[value]
 }
 
+// worstHealthState returns the most-degraded replica health state
+// (quarantined > probation > degraded > healthy), the fleet-dashboard
+// companion gauge to worstBreakerState.
+func worstHealthState(st InfStatus) (value int, name string) {
+	for _, r := range st.Replicas {
+		if r.HealthValue > value {
+			value = r.HealthValue
+		}
+	}
+	return value, healthStateNames[value]
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
@@ -635,6 +707,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := m.events.Snapshot()
 	st := s.inf.Status()
 	_, breakerName := worstBreakerState(st)
+	_, healthName := worstHealthState(st)
 	resp := statsResponse{
 		UptimeSeconds:  m.Uptime().Seconds(),
 		Build:          m.Build(),
@@ -648,7 +721,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		OSHitRatio:     snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
 		Shed:           m.sheds.Load(),
 		Timeouts:       m.timeouts.Load(),
+		Failovers:      m.failovers.Load(),
+		Hedges:         m.hedges.Load(),
+		HedgeWins:      m.hedgeWins.Load(),
 		BreakerState:   breakerName,
+		HealthState:    healthName,
 		Draining:       s.draining.Load(),
 		Generation:     st.Generation,
 		Swaps:          st.Swaps,
