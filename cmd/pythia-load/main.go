@@ -293,6 +293,7 @@ func runPoint(pc pointConfig) (loadResult, error) {
 			return res, err
 		}
 		httpSrv := &http.Server{Handler: srv.Handler()}
+		//pythia:goleak-ok Serve returns when the deferred httpSrv.Close below tears the listener down at the end of the run
 		go httpSrv.Serve(ln)
 		defer httpSrv.Close()
 		base = "http://" + ln.Addr().String()

@@ -190,12 +190,25 @@ func main() {
 		eff.MaxFailovers, eff.HedgeAfter)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	// The shutdown context is created before any helper goroutine spawns so
+	// each of them can bound itself on ctx.Done(); it is consumed by the
+	// graceful-shutdown select at the bottom.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	// SIGHUP is the operator's model-roll signal: swap the serving models
-	// from the -snapshot file without dropping a request.
+	// from the -snapshot file without dropping a request. The listener exits
+	// on shutdown rather than ranging over the signal channel forever — a
+	// reload must not start while the server is draining.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
-		for range hup {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+			}
 			log.Print("SIGHUP: reloading model snapshot...")
 			st, err := srv.ReloadSnapshot("")
 			if err != nil {
@@ -213,6 +226,7 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//pythia:goleak-ok debug listener is deliberately process-lifetime; it holds no model state and dies with the process
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
@@ -224,9 +238,8 @@ func main() {
 	// Graceful shutdown: on SIGINT/SIGTERM flip healthz to draining (so load
 	// balancers stop routing here), then let in-flight requests finish under
 	// the grace deadline before exiting.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
+	//pythia:goleak-ok exits when httpSrv.Shutdown below makes ListenAndServe return; errc is buffered so the send never blocks
 	go func() {
 		log.Printf("pythia-serve listening on %s", *addr)
 		errc <- httpSrv.ListenAndServe()

@@ -1,25 +1,36 @@
 // Command pythia-vet runs the repo's custom static-analysis suite: detclock
 // (no wall clock or global math/rand in deterministic packages), mapiter (no
 // output-reaching map iteration there), noalloc (//pythia:noalloc functions
-// must not allocate per call), and errdiscard (Plan/Build/Normalize errors
-// must be handled). See DESIGN.md "Static invariants".
+// must not allocate per call), errdiscard (Plan/Build/Normalize errors must
+// be handled), lockorder (one global mutex order, no re-entrant Lock),
+// atomicfield (no plain access to atomically accessed fields), goleak
+// (every go statement provably bounded), and metricsdrift (Prometheus
+// families and obs.Kind names in sync with the goldens). See DESIGN.md
+// "Static invariants".
 //
 // Usage:
 //
 //	go run ./cmd/pythia-vet ./...        # whole module (what CI runs)
 //	go run ./cmd/pythia-vet ./internal/sim ./internal/replay/...
 //	go run ./cmd/pythia-vet -selfcheck   # run the analyzer fixture suite
+//	go run ./cmd/pythia-vet -json ./...  # machine-readable diagnostics
+//	go run ./cmd/pythia-vet -gha ./...   # GitHub ::error annotations
+//
+// -timing <file> writes a per-analyzer wall-time table (markdown; "-" for
+// stdout) so CI can publish lint cost in the job summary.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/pythia-db/pythia/internal/analysis"
 )
@@ -27,6 +38,9 @@ import (
 func main() {
 	selfcheck := flag.Bool("selfcheck", false, "run the analyzer suite over its own golden fixtures and exit")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	gha := flag.Bool("gha", false, "emit diagnostics as GitHub Actions ::error annotations")
+	timing := flag.String("timing", "", "write a per-analyzer timing table (markdown) to this file, or - for stdout")
 	flag.Parse()
 
 	if *list {
@@ -56,26 +70,105 @@ func main() {
 
 	loader := analysis.NewLoader(root, module)
 	var diags []analysis.Diagnostic
+	elapsed := make(map[string]time.Duration, len(analysis.All))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
 		pkg.Deterministic = analysis.IsDeterministic(module, path)
-		diags = append(diags, analysis.RunAll(pkg)...)
+		for _, a := range analysis.All {
+			start := time.Now()
+			diags = append(diags, a.Analyze(pkg)...)
+			elapsed[a.Name] += time.Since(start)
+		}
 	}
 	analysis.SortDiagnostics(diags)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+
+	if *timing != "" {
+		if err := writeTiming(*timing, elapsed, len(paths)); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, cwd, diags); err != nil {
+			fatal(err)
+		}
+	case *gha:
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=pythia-vet %s::%s\n",
+				relName(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, ghaEscape(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relName(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pythia-vet: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape of -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders diagnostics as one JSON array ([] when clean).
+func writeJSON(w *os.File, base string, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     relName(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeTiming renders the per-analyzer wall-time table CI appends to the
+// job summary.
+func writeTiming(dest string, elapsed map[string]time.Duration, pkgs int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### pythia-vet timing (%d packages)\n\n", pkgs)
+	b.WriteString("| analyzer | wall time |\n|---|---|\n")
+	var total time.Duration
+	for _, a := range analysis.All {
+		fmt.Fprintf(&b, "| %s | %s |\n", a.Name, elapsed[a.Name].Round(time.Microsecond))
+		total += elapsed[a.Name]
+	}
+	fmt.Fprintf(&b, "| **total** | **%s** |\n", total.Round(time.Microsecond))
+	if dest == "-" {
+		_, err := os.Stdout.WriteString(b.String())
+		return err
+	}
+	return os.WriteFile(dest, []byte(b.String()), 0o644)
+}
+
+// relName shortens filename relative to base when it stays inside it.
+func relName(base, filename string) string {
+	if rel, err := filepath.Rel(base, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// ghaEscape encodes the characters GitHub workflow commands reserve.
+func ghaEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }
 
 // resolvePatterns expands the command-line package patterns ("./...",

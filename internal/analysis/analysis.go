@@ -2,7 +2,7 @@
 // suite that enforces the repo's determinism, allocation, and error-handling
 // invariants at compile time instead of hoping a test tickles a violation.
 //
-// Four analyzers run over every package of the module:
+// Eight analyzers run over every package of the module:
 //
 //   - detclock: no wall-clock reads (time.Now/Since/Sleep/...) or global
 //     math/rand state in deterministic packages. Wall-clock cost measurement
@@ -17,6 +17,17 @@
 //     fmt/log calls, closures capturing locals, or interface conversions.
 //   - errdiscard: the error results of plan.Planner.Plan, workload.Build,
 //     and any Normalize() may not be discarded.
+//   - lockorder: mutex acquisitions must follow one global order — no
+//     acquisition cycles, no re-entrant Lock on a held mutex, directly or
+//     through same-package calls. //pythia:lockorder-ok escapes one site.
+//   - atomicfield: a struct field accessed through sync/atomic (legacy
+//     funcs or atomic.Int64/Pointer method calls) must never be read or
+//     written plainly. //pythia:atomicfield-ok escapes one declaration.
+//   - goleak: every `go` statement must be provably bounded — select on a
+//     context/done channel, awaited WaitGroup, or //pythia:goleak-ok.
+//   - metricsdrift: Prometheus families emitted in source must match
+//     testdata/metrics.golden, and every obs.Kind constant must have a
+//     kindNames entry with a matching events row in the golden.
 //
 // The loader (load.go) builds the module's package graph with go/parser and
 // go/types only — no golang.org/x/tools dependency — so `go run
@@ -55,7 +66,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Detclock, Mapiter, Noalloc, Errdiscard}
+var All = []*Analyzer{Detclock, Mapiter, Noalloc, Errdiscard, Lockorder, Atomicfield, Goleak, Metricsdrift}
 
 // Pass carries one analyzer's run over one package.
 type Pass struct {
@@ -96,6 +107,16 @@ func (a *Analyzer) run(pkg *Package, report func(Diagnostic)) {
 		return
 	}
 	a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+}
+
+// Analyze runs this one analyzer over pkg and returns its diagnostics in
+// source order. The pythia-vet driver uses it to time analyzers
+// individually; RunAll is the all-in-one entry point.
+func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	a.run(pkg, func(d Diagnostic) { out = append(out, d) })
+	SortDiagnostics(out)
+	return out
 }
 
 // RunAll executes every analyzer in All over pkg and returns the

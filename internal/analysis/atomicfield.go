@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield enforces all-or-nothing atomicity on struct fields: a field
+// that is ever accessed through sync/atomic must never be read or written
+// plainly. Mixing the two is how torn reads slip into the serve tier — a
+// goroutine loads half-written state the race detector only catches if a
+// test happens to interleave the right pair of accesses. Two field
+// flavors are covered:
+//
+//   - legacy atomics: a plain-typed field whose address is passed to a
+//     sync/atomic function (atomic.AddUint64(&s.n, 1)) anywhere in the
+//     package makes every other plain use of that field a violation;
+//   - typed atomics (atomic.Int64, atomic.Uint64, atomic.Pointer[T], ...):
+//     the only legal uses are method calls (s.n.Load()) and taking the
+//     address (&s.n); copying or reassigning the value defeats the type.
+//
+// Fields are identified with go/types, so every instance of a struct field
+// is covered regardless of receiver. Deliberate exceptions — a constructor
+// writing before publication, a test hook — carry //pythia:atomicfield-ok
+// <reason> on the enclosing declaration.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	info := pass.Pkg.Info
+	// Pass 1: find legacy atomic fields — fields whose address reaches a
+	// sync/atomic call — and remember those sanctioned selector nodes.
+	legacy := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := calleePackageFunc(info, call); !ok || pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(info, sel); field != nil {
+					legacy[field] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every selector of a legacy field outside its sanctioned sites,
+	// and every plain-value use of a typed-atomic field, is a violation.
+	for _, f := range pass.Pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(info, sel)
+			if field == nil {
+				return true
+			}
+			switch {
+			case legacy[field]:
+				if sanctioned[sel] || pass.Suppressed(sel.Pos(), DirAtomicfieldOK) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere in the package (torn read/write; use the atomic API or annotate the declaration //pythia:atomicfield-ok)", field.Name())
+			case isAtomicType(field.Type()):
+				switch p := parents[sel].(type) {
+				case *ast.SelectorExpr:
+					if p.X == sel {
+						return true // method call or method value: s.n.Load
+					}
+				case *ast.UnaryExpr:
+					if p.Op.String() == "&" {
+						return true // address taken: &s.n stays atomic
+					}
+				}
+				if pass.Suppressed(sel.Pos(), DirAtomicfieldOK) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "atomic field %s used as a plain value (copying or reassigning %s defeats its atomicity; call its methods, or annotate the declaration //pythia:atomicfield-ok)", field.Name(), field.Type().String())
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || !field.IsField() {
+		return nil
+	}
+	return field
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics
+// (atomic.Int64, atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// parentMap builds a child→parent node index for one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

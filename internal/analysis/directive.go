@@ -14,19 +14,34 @@ import (
 // directive applies to the annotated declaration only — never to the whole
 // file or package. Recognized names:
 //
-//	wallclock-ok  this declaration may read the wall clock (detclock)
-//	maporder-ok   this declaration's map iteration is order-independent (mapiter)
-//	errcheck-ok   this declaration may discard checked-API errors (errdiscard)
-//	noalloc       opt this function into the noalloc analyzer
+//	wallclock-ok     this declaration may read the wall clock (detclock)
+//	maporder-ok      this declaration's map iteration is order-independent (mapiter)
+//	errcheck-ok      this declaration may discard checked-API errors (errdiscard)
+//	noalloc          opt this function into the noalloc analyzer
+//	lockorder-ok     this declaration's lock acquisitions are exempt from
+//	                 the global order (lockorder)
+//	atomicfield-ok   this declaration may access atomic fields plainly
+//	                 (atomicfield)
+//	goleak-ok        this declaration's goroutines are deliberately
+//	                 unbounded (goleak); because one function often spawns
+//	                 both bounded and unbounded goroutines, goleak also
+//	                 accepts the directive as a comment on the line of (or
+//	                 immediately above) a single `go` statement
+//	metricsdrift-ok  this declaration's metric families are exempt from the
+//	                 golden cross-check (metricsdrift)
 const directivePrefix = "//pythia:"
 
 // Escape directives each suppress one analyzer; noalloc is the opt-in
 // annotation for the allocation analyzer.
 const (
-	DirWallclockOK = "wallclock-ok"
-	DirMapOrderOK  = "maporder-ok"
-	DirErrcheckOK  = "errcheck-ok"
-	DirNoalloc     = "noalloc"
+	DirWallclockOK    = "wallclock-ok"
+	DirMapOrderOK     = "maporder-ok"
+	DirErrcheckOK     = "errcheck-ok"
+	DirNoalloc        = "noalloc"
+	DirLockorderOK    = "lockorder-ok"
+	DirAtomicfieldOK  = "atomicfield-ok"
+	DirGoleakOK       = "goleak-ok"
+	DirMetricsdriftOK = "metricsdrift-ok"
 )
 
 // declDirectives returns the //pythia: directive names on decl's doc comment.

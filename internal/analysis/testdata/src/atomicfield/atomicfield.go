@@ -1,0 +1,58 @@
+// Package atomicfield is the golden fixture for the atomicfield analyzer:
+// a counter struct mixing a legacy atomic field (address passed to
+// sync/atomic funcs) and a typed atomic, with plain accesses the analyzer
+// must flag and a suppressed access proving the escape is
+// declaration-scoped.
+package atomicfield
+
+import "sync/atomic"
+
+// counter mixes both atomic flavors.
+type counter struct {
+	n     uint64 // legacy: touched via atomic.AddUint64/LoadUint64
+	total atomic.Uint64
+	name  string // never atomic: plain access stays legal
+}
+
+// inc makes n a legacy atomic field.
+func (c *counter) inc() { atomic.AddUint64(&c.n, 1) }
+
+// snapshot is the sanctioned read.
+func (c *counter) snapshot() uint64 { return atomic.LoadUint64(&c.n) }
+
+// read tears: a plain load races the atomic.AddUint64 in inc.
+func (c *counter) read() uint64 {
+	return c.n // want "plain access to field n"
+}
+
+// reset tears the other way: a plain store.
+func (c *counter) reset() {
+	c.n = 0 // want "plain access to field n"
+}
+
+// bump and load use the typed atomic correctly.
+func (c *counter) bump()        { c.total.Add(1) }
+func (c *counter) load() uint64 { return c.total.Load() }
+
+// share takes the address — the value stays behind the atomic API.
+func share(c *counter) *atomic.Uint64 { return &c.total }
+
+// copyTotal copies the typed atomic out as a plain value.
+func copyTotal(c *counter) uint64 {
+	v := c.total // want "atomic field total used as a plain value"
+	return v.Load()
+}
+
+// label is a plain field next to atomic ones: no diagnostic.
+func label(c *counter) string { return c.name }
+
+// peek reads n plainly under the escape (a sanctioned pre-publication
+// read); suppression covers this declaration only.
+//
+//pythia:atomicfield-ok fixture: pre-publication read proving the escape is declaration-scoped
+func peek(c *counter) uint64 { return c.n }
+
+// peekLoud is the same read without the escape: still flagged.
+func peekLoud(c *counter) uint64 {
+	return c.n // want "plain access to field n"
+}

@@ -1,0 +1,106 @@
+// Package lockorder is the golden fixture for the lockorder analyzer: a
+// minimized replica pool / health monitor pair whose lock interaction
+// mirrors internal/serve (Pool.Swap holds swapMu while the warm path takes
+// health.mu), plus the seeded inversion and re-entrancy the analyzer must
+// flag, and a suppressed inversion proving the escape is declaration-scoped.
+package lockorder
+
+import "sync"
+
+// pool mirrors serve.Pool: swapMu serializes generation swaps.
+type pool struct {
+	swapMu sync.Mutex
+	h      *health
+}
+
+// health mirrors serve.health: mu guards the scoring window.
+type health struct {
+	mu    sync.Mutex
+	score int
+	p     *pool
+}
+
+// swap holds swapMu across the warm path, establishing swapMu → health.mu —
+// exactly the order Pool.Swap uses, legal on its own.
+func (p *pool) swap() {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	p.h.success() // want "lock-order cycle"
+}
+
+// success locks health.mu directly; called under swapMu from swap.
+func (h *health) success() {
+	h.mu.Lock()
+	h.score++
+	h.mu.Unlock()
+}
+
+// report inverts the order: holding health.mu it calls back into the pool,
+// which acquires swapMu — the ABBA cycle against swap.
+func (h *health) report() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.p.freeze() // want "lock-order cycle"
+}
+
+// freeze acquires swapMu; fine alone, cyclic when reached under health.mu.
+func (p *pool) freeze() {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+}
+
+// relock double-locks the same mutex: guaranteed self-deadlock.
+func (h *health) relock() {
+	h.mu.Lock()
+	h.mu.Lock() // want "re-entrant Lock"
+	h.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// reenterViaCall holds health.mu and calls success, which locks it again.
+func (h *health) reenterViaCall() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.success() // want "re-entrant deadlock"
+}
+
+// helper is the caller-holds-mu idiom (serve's maybeRecover/slide): no
+// locking of its own, so calls to it under health.mu are clean.
+func (h *health) helper() { h.score-- }
+
+// scoped calls helper under the lock — no diagnostic.
+func (h *health) scoped() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.helper()
+}
+
+// sequential locks one mutex after fully releasing the other: no edge.
+func (p *pool) sequential() {
+	p.swapMu.Lock()
+	p.swapMu.Unlock()
+	p.h.mu.Lock()
+	p.h.mu.Unlock()
+}
+
+// spawned locks health.mu inside a goroutine while holding swapMu: spawned
+// goroutines are unordered against the spawner, so no edge and no cycle.
+func (p *pool) spawned(done chan struct{}) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	go func() {
+		p.h.mu.Lock()
+		p.h.mu.Unlock()
+		<-done
+	}()
+}
+
+// quietReport is the same inversion as report but carries the escape; the
+// directive drops this site's edge only — report's diagnostic stays.
+//
+//pythia:lockorder-ok fixture: deliberate inversion proving the escape is declaration-scoped
+func (h *health) quietReport() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.p.freeze()
+}

@@ -1,0 +1,68 @@
+// Package metricsdrift is the golden fixture for the metricsdrift
+// analyzer: a miniature obs.Kind table with a missing entry, a Prometheus
+// render function whose families drift from testdata/metrics.golden in
+// both directions, and a suppressed family proving the escape is
+// declaration-scoped.
+package metricsdrift
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind mirrors obs.Kind: a dense event enum sized by KindCount.
+type Kind uint8
+
+// The event kinds. EventC is deliberately missing from kindNames below.
+const (
+	EventA Kind = iota
+	EventB
+	EventC
+	KindCount
+)
+
+var kindNames = [KindCount]string{ // want "Kind constant EventC has no kindNames entry"
+	EventA: "event_a",
+	EventB: "event_b",
+}
+
+// String renders the kind label.
+func (k Kind) String() string {
+	if k < KindCount {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// render mirrors serve.writePrometheus. The golden next to this fixture
+// (testdata/metrics.golden) knows a ghost family this function never
+// emits, and its events rows cover event_a plus an unknown event_x — so
+// every drift direction is represented.
+func render(w io.Writer, served uint64) {
+	fmt.Fprintln(w, "# HELP pythia_fixture_served_total Requests served.")
+	fmt.Fprintln(w, "# TYPE pythia_fixture_served_total counter") // want "pythia_fixture_ghost_total appears in testdata/metrics.golden but is never emitted"
+	fmt.Fprintf(w, "pythia_fixture_served_total %d\n", served)
+
+	// A family declared but absent from the golden, with no HELP line.
+	fmt.Fprintln(w, "# TYPE pythia_fixture_orphan_total counter") // want "no # HELP line" "missing from testdata/metrics.golden"
+	fmt.Fprintf(w, "pythia_fixture_orphan_total %d\n", served)
+
+	// A sample emitted without any # TYPE declaration.
+	fmt.Fprintf(w, "pythia_fixture_rogue_total %d\n", served) // want "without a # TYPE declaration"
+
+	fmt.Fprintln(w, "# HELP pythia_events_total Events by kind.")
+	fmt.Fprintln(w, "# TYPE pythia_events_total counter")
+	for k := Kind(0); k < KindCount; k++ {
+		fmt.Fprintf(w, "pythia_events_total{kind=%q} %d\n", k.String(), 0) // want "event kind \"event_b\" has no pythia_events_total row" "row for unknown kind \"event_x\""
+	}
+}
+
+// renderQuiet emits a family outside the golden under the escape; the
+// directive covers this declaration only.
+//
+//pythia:metricsdrift-ok fixture: experimental family proving the escape is declaration-scoped
+func renderQuiet(w io.Writer) {
+	fmt.Fprintln(w, "# HELP pythia_fixture_quiet_total Experimental.")
+	fmt.Fprintln(w, "# TYPE pythia_fixture_quiet_total counter")
+	fmt.Fprintln(w, "pythia_fixture_quiet_total 0")
+}

@@ -19,14 +19,18 @@ func TestFixtures(t *testing.T) {
 		t.Fatalf("RunFixtures: %v", err)
 	}
 	wantFixtures := map[string]bool{
-		"detclock":    false,
-		"wallclockok": false,
-		"mapiter":     false,
-		"maporderok":  false,
-		"noalloc":     false,
-		"errdiscard":  false,
-		"errcheckok":  false,
-		"clocknondet": false,
+		"detclock":     false,
+		"wallclockok":  false,
+		"mapiter":      false,
+		"maporderok":   false,
+		"noalloc":      false,
+		"errdiscard":   false,
+		"errcheckok":   false,
+		"clocknondet":  false,
+		"lockorder":    false,
+		"atomicfield":  false,
+		"goleak":       false,
+		"metricsdrift": false,
 	}
 	for _, r := range reports {
 		if _, ok := wantFixtures[r.Name]; ok {
@@ -46,8 +50,12 @@ func TestFixtures(t *testing.T) {
 // TestSeededViolations builds a scratch module shaped like this repo and
 // seeds one deliberate violation per analyzer — wall-clock in internal/sim,
 // a map-range feeding an event append in internal/replay, an allocation
-// inside a //pythia:noalloc function in internal/nn, and a discarded
-// Planner.Plan error — then asserts each is reported with its file:line.
+// inside a //pythia:noalloc function in internal/nn, a discarded
+// Planner.Plan error, a re-entrant Lock, a torn atomic-field read, an
+// unbounded goroutine, and a Prometheus family missing from its golden —
+// then asserts each is reported with its file:line. Every escape directive
+// is exercised alongside its violation: the suppressed twin must stay
+// silent while the seeded site is still reported.
 func TestSeededViolations(t *testing.T) {
 	dir := t.TempDir()
 	files := map[string]string{
@@ -111,6 +119,100 @@ func Drop(pl *plan.Planner, q plan.Query) *plan.Node {
 	return n
 }
 `,
+		"internal/srv/locks.go": `package srv
+
+import "sync"
+
+// Gate serializes admissions.
+type Gate struct{ mu sync.Mutex }
+
+// Admit double-locks the gate.
+func (g *Gate) Admit() {
+	g.mu.Lock()
+	g.mu.Lock() // MARK:lockorder
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// AdmitQuiet is the suppressed twin: same re-entrancy, escaped.
+//
+//pythia:lockorder-ok seeded: proving the escape silences only this declaration
+func (g *Gate) AdmitQuiet() {
+	g.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+`,
+		"internal/srv/counter.go": `package srv
+
+import "sync/atomic"
+
+// Counter counts admissions.
+type Counter struct{ n uint64 }
+
+// Inc is the atomic writer.
+func (c *Counter) Inc() { atomic.AddUint64(&c.n, 1) }
+
+// Read tears: a plain load racing Inc.
+func (c *Counter) Read() uint64 {
+	return c.n // MARK:atomicfield
+}
+
+// ReadQuiet is the suppressed twin.
+//
+//pythia:atomicfield-ok seeded: proving the escape silences only this declaration
+func (c *Counter) ReadQuiet() uint64 { return c.n }
+`,
+		"internal/srv/spawn.go": `package srv
+
+// Spin leaks a goroutine with no cancellation path.
+func Spin() {
+	go func() { // MARK:goleak
+		for {
+		}
+	}()
+}
+
+// SpinQuiet is the suppressed twin, using the statement-scoped escape.
+func SpinQuiet() {
+	//pythia:goleak-ok seeded: proving the statement escape silences only this spawn
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+		"internal/mx/mx.go": `package mx
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render emits two families; the golden only knows the first.
+func Render(w io.Writer, n uint64) {
+	fmt.Fprintln(w, "# HELP pythia_mx_total Things.")
+	fmt.Fprintln(w, "# TYPE pythia_mx_total counter")
+	fmt.Fprintf(w, "pythia_mx_total %d\n", n)
+	fmt.Fprintln(w, "# HELP pythia_mx_new_total New things.")
+	fmt.Fprintln(w, "# TYPE pythia_mx_new_total counter") // MARK:metricsdrift
+	fmt.Fprintf(w, "pythia_mx_new_total %d\n", n)
+}
+
+// RenderQuiet is the suppressed twin: a family outside the golden.
+//
+//pythia:metricsdrift-ok seeded: proving the escape silences only this declaration
+func RenderQuiet(w io.Writer, n uint64) {
+	fmt.Fprintln(w, "# HELP pythia_mx_quiet_total Quiet things.")
+	fmt.Fprintln(w, "# TYPE pythia_mx_quiet_total counter")
+	fmt.Fprintf(w, "pythia_mx_quiet_total %d\n", n)
+}
+`,
+		"internal/mx/testdata/metrics.golden": `# HELP pythia_mx_total Things.
+# TYPE pythia_mx_total counter
+pythia_mx_total 0
+`,
 	}
 	for name, content := range files {
 		p := filepath.Join(dir, filepath.FromSlash(name))
@@ -141,10 +243,14 @@ func Drop(pl *plan.Planner, q plan.Query) *plan.Node {
 		file string
 		mark string
 	}{
-		"detclock":   {"internal/sim/clock.go", "MARK:detclock"},
-		"mapiter":    {"internal/replay/emit.go", "MARK:mapiter"},
-		"noalloc":    {"internal/nn/hot.go", "MARK:noalloc"},
-		"errdiscard": {"caller/caller.go", "MARK:errdiscard"},
+		"detclock":     {"internal/sim/clock.go", "MARK:detclock"},
+		"mapiter":      {"internal/replay/emit.go", "MARK:mapiter"},
+		"noalloc":      {"internal/nn/hot.go", "MARK:noalloc"},
+		"errdiscard":   {"caller/caller.go", "MARK:errdiscard"},
+		"lockorder":    {"internal/srv/locks.go", "MARK:lockorder"},
+		"atomicfield":  {"internal/srv/counter.go", "MARK:atomicfield"},
+		"goleak":       {"internal/srv/spawn.go", "MARK:goleak"},
+		"metricsdrift": {"internal/mx/mx.go", "MARK:metricsdrift"},
 	}
 	if len(diags) != len(expect) {
 		for _, d := range diags {

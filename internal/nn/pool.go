@@ -47,6 +47,7 @@ func ensureWorkers(n int) {
 	workerMu.Lock()
 	defer workerMu.Unlock()
 	for ; workerCount < n; workerCount++ {
+		//pythia:goleak-ok shared process-lifetime workers, parked on an unbuffered channel when idle; bounding them per call would re-spawn on every parallel section
 		go func() {
 			for f := range workCh {
 				f()

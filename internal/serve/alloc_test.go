@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+// TestServeHotPathAllocs pins the per-request units of the serving fast path
+// at zero heap allocations per call. Every function exercised here carries
+// //pythia:noalloc, so the static analyzer rejects the allocation *patterns*
+// at vet time; this test closes the loop at runtime, catching anything the
+// shallow analyzer cannot see (interface boxing inside callees, map growth,
+// escape-analysis regressions from a toolchain bump).
+//
+// The units mirror one cache-hit request end to end: fingerprint the plan,
+// route it on the ring (with failover successors into a caller-owned
+// scratch slice), check breaker and health admission, hit the prediction
+// cache, and record the health outcome.
+func TestServeHotPathAllocs(t *testing.T) {
+	rec := &obs.AtomicCounters{}
+
+	t.Run("fingerprint", func(t *testing.T) {
+		ids := []int{3, 1, 4, 1, 5, 9, 2, 6}
+		if a := testing.AllocsPerRun(1000, func() {
+			_ = fingerprint("workload", ids)
+		}); a != 0 {
+			t.Errorf("fingerprint allocates %v/op", a)
+		}
+	})
+
+	t.Run("predcache-hit", func(t *testing.T) {
+		c := newPredCache(64, rec)
+		key := fingerprint("workload", []int{3, 1, 4})
+		c.put(key, []storage.PageID{{Object: 1, Page: 7}})
+		if a := testing.AllocsPerRun(1000, func() {
+			if _, hit := c.get(key); !hit {
+				t.Fatal("seeded key missed")
+			}
+		}); a != 0 {
+			t.Errorf("predCache.get hit allocates %v/op", a)
+		}
+	})
+
+	t.Run("ring-lookup", func(t *testing.T) {
+		r := newRing(4)
+		fps := testFingerprints(8)
+		if a := testing.AllocsPerRun(1000, func() {
+			for _, fp := range fps {
+				_ = r.lookup(fp)
+			}
+		}); a != 0 {
+			t.Errorf("hashRing.lookup allocates %v/op", a)
+		}
+		dst := make([]int, 0, 4)
+		if a := testing.AllocsPerRun(1000, func() {
+			for _, fp := range fps {
+				dst = r.lookupN(fp, dst[:0], 3)
+			}
+		}); a != 0 {
+			t.Errorf("hashRing.lookupN allocates %v/op", a)
+		}
+	})
+
+	t.Run("health-steady-state", func(t *testing.T) {
+		h := newHealth(3, time.Second, 2, rec)
+		if a := testing.AllocsPerRun(1000, func() {
+			h.success()
+			if !h.serving() {
+				t.Fatal("healthy replica not serving")
+			}
+		}); a != 0 {
+			t.Errorf("health success/serving allocates %v/op", a)
+		}
+	})
+
+	t.Run("breaker-steady-state", func(t *testing.T) {
+		b := newBreaker(3, time.Second, rec)
+		if a := testing.AllocsPerRun(1000, func() {
+			if !b.allow() {
+				t.Fatal("closed breaker refused")
+			}
+			b.success()
+			if b.blocked() {
+				t.Fatal("closed breaker blocked")
+			}
+		}); a != 0 {
+			t.Errorf("breaker allow/success/blocked allocates %v/op", a)
+		}
+	})
+}

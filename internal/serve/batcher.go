@@ -141,6 +141,7 @@ func (b *batcher) dispatch(batch []batchReq) {
 			b.batches.Add(1)
 			b.batched.Add(uint64(len(g)))
 		}
+		//pythia:goleak-ok one-shot inference; exits after PredictBatch delivers into each request's buffered res channel, even if every waiter timed out
 		go func(tw *corepythia.Trained, g []batchReq) {
 			roots := make([]*plan.Node, len(g))
 			for i, r := range g {

@@ -59,6 +59,8 @@ func (b *breaker) record(k obs.Kind) {
 
 // allow reports whether the model path may be tried right now, half-opening
 // an open breaker whose cooldown has elapsed.
+//
+//pythia:noalloc
 func (b *breaker) allow() bool {
 	if b.threshold <= 0 {
 		return true
@@ -76,6 +78,8 @@ func (b *breaker) allow() bool {
 }
 
 // success records a healthy model response, closing a half-open breaker.
+//
+//pythia:noalloc
 func (b *breaker) success() {
 	if b.threshold <= 0 {
 		return
@@ -91,6 +95,8 @@ func (b *breaker) success() {
 
 // failure records a model error, tripping the breaker at the threshold (or
 // immediately when a half-open trial fails).
+//
+//pythia:noalloc
 func (b *breaker) failure() {
 	if b.threshold <= 0 {
 		return
@@ -111,6 +117,8 @@ func (b *breaker) failure() {
 // prediction answers from the fallback path. Once the cooldown elapses,
 // blocked reports false even though the state is still open, so the pool
 // keeps routing the trial request that lets allow() half-open the breaker.
+//
+//pythia:noalloc
 func (b *breaker) blocked() bool {
 	if b.threshold <= 0 {
 		return false

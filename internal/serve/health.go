@@ -89,6 +89,8 @@ func (h *health) record(k obs.Kind) {
 }
 
 // slide pushes one outcome into the window and returns the failure count.
+//
+//pythia:noalloc
 func (h *health) slide(failed bool) int {
 	if h.windowLen == healthWindow {
 		if h.window[h.windowNext] {
@@ -114,6 +116,8 @@ func (h *health) resetWindow() {
 
 // success records one healthy model-path outcome (including prediction-cache
 // hits — a replica that answers from cache is serving its shard).
+//
+//pythia:noalloc
 func (h *health) success() {
 	if h == nil || h.threshold <= 0 {
 		return
@@ -152,6 +156,8 @@ func (h *health) maybeRecover() {
 // failure records one failed model-path outcome (an inference fault, a
 // deadline miss, or an admission shed — a replica that cannot accept its
 // shard's traffic is unhealthy from the router's point of view).
+//
+//pythia:noalloc
 func (h *health) failure() {
 	if h == nil || h.threshold <= 0 {
 		return
@@ -196,6 +202,8 @@ func (h *health) requarantine() {
 
 // serving reports whether the replica may receive normally routed traffic
 // (everything but quarantined).
+//
+//pythia:noalloc
 func (h *health) serving() bool {
 	if h == nil || h.threshold <= 0 {
 		return true
@@ -210,6 +218,8 @@ func (h *health) serving() bool {
 // in flight per backoff window regardless of traffic — the single-flight
 // guard cannot wedge, because it is a timer, not a flag an outcome must
 // clear.
+//
+//pythia:noalloc
 func (h *health) allowProbe() bool {
 	if h == nil || h.threshold <= 0 {
 		return false

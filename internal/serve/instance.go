@@ -175,6 +175,7 @@ func (ins *instance) infer(ctx context.Context, tw *corepythia.Trained, root *pl
 	defer ins.missInflight.Add(-1)
 	done := make(chan batchRes, 1)
 	if !(n > 1 && ins.batcher != nil && ins.batcher.enqueue(batchReq{tw: tw, root: root, res: done})) {
+		//pythia:goleak-ok one-shot inference; done is buffered so the sender exits even when the select below took the ctx branch
 		go func() { done <- batchRes{pages: tw.Pred.PredictParallel(root), size: 1} }()
 	}
 	select {

@@ -81,7 +81,9 @@ type Metrics struct {
 	// tracer, when non-nil, records one span.HTTPSpan per instrumented
 	// request (endpoint label, status-code detail, timestamps relative to
 	// the hub's start epoch on its injected clock). Nil costs one nil-check.
-	tracer *span.Sync
+	// Atomic because SetTracer runs after the hub is already shared with
+	// request handlers reading it (surfaced by the atomicfield analyzer).
+	tracer atomic.Pointer[span.Sync]
 }
 
 // NewMetrics returns an empty metrics hub recording system events into
@@ -124,7 +126,7 @@ func (m *Metrics) Build() BuildInfo { return m.build }
 // instrumented request (nil detaches). Timestamps are real time relative to
 // the hub's start epoch, so a span.Report or Perfetto export of serving
 // traffic lines up at zero.
-func (m *Metrics) SetTracer(tr *span.Sync) { m.tracer = tr }
+func (m *Metrics) SetTracer(tr *span.Sync) { m.tracer.Store(tr) }
 
 // Events returns the system event counters (also an obs.Recorder).
 func (m *Metrics) Events() *obs.AtomicCounters { return m.events }
@@ -163,14 +165,15 @@ func (m *Metrics) observePrediction(pages int, fallback bool) {
 // trace at the current clock, attributed to the predict endpoint. One
 // nil-check when no tracer is attached.
 func (m *Metrics) markCache(hit bool) {
-	if m.tracer == nil {
+	tr := m.tracer.Load()
+	if tr == nil {
 		return
 	}
 	kind := span.PredCacheMissMark
 	if hit {
 		kind = span.PredCacheHitMark
 	}
-	m.tracer.Instant(kind, "predict", span.NoQuery, sim.Time(m.now().Sub(m.start)))
+	tr.Instant(kind, "predict", span.NoQuery, sim.Time(m.now().Sub(m.start)))
 }
 
 // requestRow is one (endpoint, code, count) cell in snapshot order.
@@ -259,7 +262,7 @@ func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		h(sw, r)
 		end := m.now()
 		m.observeRequest(endpoint, sw.code, end.Sub(start))
-		m.tracer.CompleteLabel(span.HTTPSpan, endpoint, span.NoQuery, uint32(sw.code),
+		m.tracer.Load().CompleteLabel(span.HTTPSpan, endpoint, span.NoQuery, uint32(sw.code),
 			sim.Time(start.Sub(m.start)), sim.Time(end.Sub(m.start)))
 	}
 }

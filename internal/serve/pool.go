@@ -368,6 +368,7 @@ func (p *Pool) Swap(r io.Reader) error {
 	})
 	p.cur.Store(next)
 	p.swaps.Add(1)
+	//pythia:goleak-ok drain loop is deadline-bounded: drainInstance polls in-flight counts for at most DrainTimeout per retired instance
 	go func() {
 		for _, ins := range old.instances {
 			drainInstance(ins, p.opts.DrainTimeout)

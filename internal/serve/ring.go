@@ -90,6 +90,8 @@ func (r *hashRing) lookup(fp uint64) int {
 // absorbs the sick replica's shard instead of scattering it. n is clamped to
 // the replica count; the returned slice is dst extended in place when its
 // capacity allows.
+//
+//pythia:noalloc
 func (r *hashRing) lookupN(fp uint64, dst []int, n int) []int {
 	fp = mix64(fp)
 	lo, hi := 0, len(r.points)

@@ -104,6 +104,7 @@ func (s *Single) Swap(r io.Reader) error {
 	warmThrough(s.warm.snapshot(), s.opts.RequestTimeout, func(uint64) *instance { return next })
 	s.cur.Store(next)
 	s.swaps.Add(1)
+	//pythia:goleak-ok drain is deadline-bounded: drainInstance polls in-flight counts for at most DrainTimeout before force-closing
 	go drainInstance(old, s.opts.DrainTimeout)
 	return nil
 }

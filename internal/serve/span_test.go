@@ -66,7 +66,7 @@ func TestHTTPSpansOffByDefault(t *testing.T) {
 	if rr := doRequest(t, srv, http.MethodGet, "/v1/healthz", nil); rr.Code != http.StatusOK {
 		t.Fatalf("healthz status %d", rr.Code)
 	}
-	if srv.metrics.tracer.Len() != 0 {
-		t.Errorf("untraced hub recorded %d spans", srv.metrics.tracer.Len())
+	if srv.metrics.tracer.Load().Len() != 0 {
+		t.Errorf("untraced hub recorded %d spans", srv.metrics.tracer.Load().Len())
 	}
 }
