@@ -75,6 +75,10 @@ func main() {
 		maxP99       = flag.Duration("max-p99", 0, "fail (exit nonzero) if any sweep point's p99 exceeds this (0 = no gate)")
 		maxErrorRate = flag.Float64("max-error-rate", -1, "fail (exit nonzero) if any sweep point's error rate (errors/requests) exceeds this fraction (negative = no gate)")
 
+		feedbackRate    = flag.Float64("feedback", 0, "probability a 2xx predict is followed by a POST /v1/feedback report with the corpus instance's true pages (0 = no feedback traffic)")
+		maxMinPrecision = flag.Float64("max-min-precision", -1, "fail (exit nonzero) if any sweep point's windowed feedback precision falls below this floor (negative = no gate; implies -feedback 1 when -feedback is 0)")
+		failOnAlarm     = flag.Bool("fail-on-drift-alarm", false, "fail (exit nonzero) if any sweep point ends with drift state \"alarm\" (sustained drift; transient alarms that recover before the run ends still show in drift_alarms)")
+
 		chaosReplica   = flag.Int("chaos-replica", -1, "self-hosted chaos drill: replica index whose inferences fail mid-run (negative = off)")
 		chaosRate      = flag.Float64("chaos-rate", 1, "fault probability for the -chaos-replica drill")
 		chaosAt        = flag.Float64("chaos-at", 0.25, "fraction of -duration after which the replica fault arms")
@@ -109,6 +113,15 @@ func main() {
 	if *expectRecovery && *chaosReplica < 0 {
 		log.Fatal("pythia-load: -expect-recovery needs -chaos-replica")
 	}
+	if *feedbackRate < 0 || *feedbackRate > 1 {
+		log.Fatalf("pythia-load: -feedback %g outside [0, 1]", *feedbackRate)
+	}
+	if *maxMinPrecision >= 0 && *feedbackRate == 0 {
+		// The precision gate reads the server's feedback window, which stays
+		// empty without feedback traffic — an ungated run would always pass.
+		*feedbackRate = 1
+		log.Printf("-max-min-precision set: defaulting -feedback to 1")
+	}
 
 	gen := dsb.NewGenerator(dsb.Config{ScaleFactor: *sf, Seed: *seed})
 	corpus := buildCorpus(gen, *templates, *n, *seed)
@@ -133,7 +146,7 @@ func main() {
 	for _, replicas := range sweepCounts {
 		res, err := runPoint(pointConfig{
 			target: *target, gen: gen, sys: sys, replicas: replicas,
-			cacheEntries: *cacheFlag, corpus: corpus, qps: *qps,
+			cacheEntries: *cacheFlag, corpus: corpus, qps: *qps, feedback: *feedbackRate,
 			concurrency: *concurrency, duration: *duration,
 			repeat: *repeat, hotSet: *hotSet, swapAt: *swapAt, seed: *seed,
 			chaosReplica: *chaosReplica, chaosRate: *chaosRate,
@@ -163,6 +176,25 @@ func main() {
 		if *expectRecovery && (res.Quarantines == 0 || res.Recoveries == 0) {
 			log.Printf("GATE BREACH: replicas=%d expected a quarantine+recovery cycle, saw quarantines=%d recoveries=%d",
 				replicas, res.Quarantines, res.Recoveries)
+			gateFailed = true
+		}
+		if res.Feedbacks > 0 {
+			log.Printf("replicas=%d: quality feedback=%d (errors %d) precision=%.4f recall=%.4f drift=%s (score %.4f)",
+				replicas, res.Feedbacks, res.FeedbackErrors, res.Precision, res.Recall, res.DriftState, res.DriftScore)
+		}
+		if *maxMinPrecision >= 0 {
+			if res.QualityScored == 0 {
+				log.Printf("GATE BREACH: replicas=%d precision gate set but no feedback was scored", replicas)
+				gateFailed = true
+			} else if res.Precision < *maxMinPrecision {
+				log.Printf("GATE BREACH: replicas=%d windowed precision %.4f < -max-min-precision %g",
+					replicas, res.Precision, *maxMinPrecision)
+				gateFailed = true
+			}
+		}
+		if *failOnAlarm && res.DriftState == "alarm" {
+			log.Printf("GATE BREACH: replicas=%d run ended in drift alarm (%d alarms, score %.4f)",
+				replicas, res.DriftAlarms, res.DriftScore)
 			gateFailed = true
 		}
 	}
@@ -231,6 +263,22 @@ type loadResult struct {
 	Generation    uint64            `json:"generation"`
 	Swaps         uint64            `json:"swaps"`
 	SwapMS        float64           `json:"swap_ms,omitempty"`
+
+	// Quality and drift snapshot scraped from /stats at the end of the run:
+	// the server's own windowed scores over the -feedback ground-truth
+	// traffic, and the drift detector's aggregate verdict.
+	Feedbacks      uint64  `json:"feedbacks_sent"`
+	FeedbackErrors uint64  `json:"feedback_errors"`
+	QualityScored  uint64  `json:"quality_scored"`
+	QualityWindow  int     `json:"quality_window"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	WastedRatio    float64 `json:"wasted_ratio"`
+	DriftState     string  `json:"drift_state"`
+	DriftScore     float64 `json:"drift_score"`
+	DriftWarnings  uint64  `json:"drift_warnings"`
+	DriftAlarms    uint64  `json:"drift_alarms"`
+	BaselineHash   string  `json:"baseline_hash,omitempty"`
 }
 
 type pointConfig struct {
@@ -239,8 +287,9 @@ type pointConfig struct {
 	sys          *corepythia.System
 	replicas     int
 	cacheEntries int
-	corpus       [][]byte
+	corpus       []corpusEntry
 	qps          float64
+	feedback     float64
 	concurrency  int
 	duration     time.Duration
 	repeat       float64
@@ -318,8 +367,9 @@ func runPoint(pc pointConfig) (loadResult, error) {
 	url := base + "/v1/predict"
 	hist := obs.NewHistogram(latencyBounds())
 	var (
-		requests, errCount atomic.Uint64
-		statusMu           sync.Mutex
+		requests, errCount      atomic.Uint64
+		feedbacks, feedbackErrs atomic.Uint64
+		statusMu                sync.Mutex
 	)
 	interval := time.Duration(0)
 	if pc.qps > 0 {
@@ -353,14 +403,15 @@ func runPoint(pc pointConfig) (loadResult, error) {
 						return
 					}
 				}
-				var body []byte
+				var entry corpusEntry
 				if pc.repeat > 0 && rng.Float64() < pc.repeat {
-					body = pc.corpus[rng.Intn(hot)]
+					entry = pc.corpus[rng.Intn(hot)]
 				} else {
-					body = pc.corpus[rng.Intn(len(pc.corpus))]
+					entry = pc.corpus[rng.Intn(len(pc.corpus))]
 				}
+				wantFeedback := pc.feedback > 0 && rng.Float64() < pc.feedback
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(entry.body))
 				requests.Add(1)
 				if err != nil {
 					errCount.Add(1)
@@ -368,6 +419,15 @@ func runPoint(pc pointConfig) (loadResult, error) {
 					res.StatusCounts["transport_error"]++
 					statusMu.Unlock()
 					continue
+				}
+				var predictionID string
+				if wantFeedback && resp.StatusCode == http.StatusOK {
+					var pr struct {
+						PredictionID string `json:"prediction_id"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&pr) == nil {
+						predictionID = pr.PredictionID
+					}
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
@@ -377,6 +437,16 @@ func runPoint(pc pointConfig) (loadResult, error) {
 				statusMu.Unlock()
 				if resp.StatusCode < 200 || resp.StatusCode > 299 {
 					errCount.Add(1)
+				}
+				// Close the ground-truth loop: report the instance's true
+				// pages back as the "touched" set. Feedback traffic is
+				// accounted separately from predict throughput.
+				if predictionID != "" {
+					if err := postFeedback(client, base, predictionID, entry.truth); err != nil {
+						feedbackErrs.Add(1)
+					} else {
+						feedbacks.Add(1)
+					}
 				}
 			}
 		}(g)
@@ -430,6 +500,8 @@ func runPoint(pc pointConfig) (loadResult, error) {
 
 	res.Requests = requests.Load()
 	res.Errors = errCount.Load()
+	res.Feedbacks = feedbacks.Load()
+	res.FeedbackErrors = feedbackErrs.Load()
 	if res.Requests > 0 {
 		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
 	}
@@ -444,6 +516,27 @@ func runPoint(pc pointConfig) (loadResult, error) {
 		log.Printf("stats scrape failed (report row incomplete): %v", err)
 	}
 	return res, nil
+}
+
+// postFeedback POSTs one ground-truth report for a prediction.
+func postFeedback(client *http.Client, base, predictionID string, truth json.RawMessage) error {
+	body, err := json.Marshal(struct {
+		PredictionID string          `json:"prediction_id"`
+		Pages        json.RawMessage `json:"pages"`
+	}{predictionID, truth})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("feedback status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // postReload POSTs the admin reload endpoint with an explicit snapshot path.
@@ -490,6 +583,22 @@ func scrapeStats(client *http.Client, base string, res *loadResult) error {
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
 		} `json:"predcache"`
+		Quality struct {
+			Scored      uint64  `json:"scored"`
+			Window      int     `json:"window"`
+			Precision   float64 `json:"precision"`
+			Recall      float64 `json:"recall"`
+			WastedRatio float64 `json:"wasted_ratio"`
+		} `json:"quality"`
+		Drift struct {
+			State    string  `json:"state"`
+			Score    float64 `json:"score"`
+			Warnings uint64  `json:"warnings"`
+			Alarms   uint64  `json:"alarms"`
+		} `json:"drift"`
+		Baseline *struct {
+			Hash string `json:"hash"`
+		} `json:"baseline"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return err
@@ -512,13 +621,38 @@ func scrapeStats(client *http.Client, base string, res *loadResult) error {
 			res.CacheHitRate = float64(st.PredCache.Hits) / float64(total)
 		}
 	}
+	res.QualityScored = st.Quality.Scored
+	res.QualityWindow = st.Quality.Window
+	res.Precision = st.Quality.Precision
+	res.Recall = st.Quality.Recall
+	res.WastedRatio = st.Quality.WastedRatio
+	res.DriftState = st.Drift.State
+	res.DriftScore = st.Drift.Score
+	res.DriftWarnings = st.Drift.Warnings
+	res.DriftAlarms = st.Drift.Alarms
+	if st.Baseline != nil {
+		res.BaselineHash = st.Baseline.Hash
+	}
 	return nil
 }
 
-// buildCorpus encodes every workload instance's QuerySpec once up front so
-// the load loop does zero encoding work.
-func buildCorpus(gen *dsb.Generator, templates string, n int, seed uint64) [][]byte {
-	var corpus [][]byte
+// corpusEntry is one pre-encoded request: the QuerySpec body for
+// /v1/predict and the instance's true page set, pre-marshaled for
+// /v1/feedback so the feedback path does zero encoding work per request.
+type corpusEntry struct {
+	body  []byte
+	truth json.RawMessage
+}
+
+// buildCorpus encodes every workload instance's QuerySpec (and ground-truth
+// page list) once up front so the load loop does zero encoding work.
+func buildCorpus(gen *dsb.Generator, templates string, n int, seed uint64) []corpusEntry {
+	type pageJSON struct {
+		Object string `json:"object"`
+		Page   uint32 `json:"page"`
+	}
+	reg := gen.DB().Registry
+	var corpus []corpusEntry
 	for _, tpl := range strings.Split(templates, ",") {
 		tpl = strings.TrimSpace(tpl)
 		if tpl == "" {
@@ -530,7 +664,19 @@ func buildCorpus(gen *dsb.Generator, templates string, n int, seed uint64) [][]b
 			if err := spec.FromQuery(inst.Query).Encode(&buf); err != nil {
 				log.Fatalf("pythia-load: encoding corpus: %v", err)
 			}
-			corpus = append(corpus, buf.Bytes())
+			truth := make([]pageJSON, 0, len(inst.Pages))
+			for _, p := range inst.Pages {
+				name := ""
+				if obj := reg.Lookup(p.Object); obj != nil {
+					name = obj.Name
+				}
+				truth = append(truth, pageJSON{Object: name, Page: uint32(p.Page)})
+			}
+			raw, err := json.Marshal(truth)
+			if err != nil {
+				log.Fatalf("pythia-load: encoding ground truth: %v", err)
+			}
+			corpus = append(corpus, corpusEntry{body: buf.Bytes(), truth: raw})
 		}
 	}
 	if len(corpus) == 0 {

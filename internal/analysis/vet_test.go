@@ -213,6 +213,27 @@ func RenderQuiet(w io.Writer, n uint64) {
 # TYPE pythia_mx_total counter
 pythia_mx_total 0
 `,
+		"internal/obsk/kinds.go": `package obsk
+
+// Kind identifies one event type.
+type Kind uint8
+
+// The event kinds.
+const (
+	EventA Kind = iota
+	EventB
+	KindCount
+)
+
+// kindNames deliberately omits EventB: its String() renders empty and the
+// kind vanishes from /metrics.
+var kindNames = map[Kind]string{ // MARK:kindnames
+	EventA: "event_a",
+}
+
+// String names the kind.
+func (k Kind) String() string { return kindNames[k] }
+`,
 	}
 	for name, content := range files {
 		p := filepath.Join(dir, filepath.FromSlash(name))
@@ -239,18 +260,22 @@ pythia_mx_total 0
 		diags = append(diags, RunAll(pkg)...)
 	}
 
-	expect := map[string]struct {
-		file string
-		mark string
+	expect := []struct {
+		analyzer string
+		file     string
+		mark     string
 	}{
-		"detclock":     {"internal/sim/clock.go", "MARK:detclock"},
-		"mapiter":      {"internal/replay/emit.go", "MARK:mapiter"},
-		"noalloc":      {"internal/nn/hot.go", "MARK:noalloc"},
-		"errdiscard":   {"caller/caller.go", "MARK:errdiscard"},
-		"lockorder":    {"internal/srv/locks.go", "MARK:lockorder"},
-		"atomicfield":  {"internal/srv/counter.go", "MARK:atomicfield"},
-		"goleak":       {"internal/srv/spawn.go", "MARK:goleak"},
-		"metricsdrift": {"internal/mx/mx.go", "MARK:metricsdrift"},
+		{"detclock", "internal/sim/clock.go", "MARK:detclock"},
+		{"mapiter", "internal/replay/emit.go", "MARK:mapiter"},
+		{"noalloc", "internal/nn/hot.go", "MARK:noalloc"},
+		{"errdiscard", "caller/caller.go", "MARK:errdiscard"},
+		{"lockorder", "internal/srv/locks.go", "MARK:lockorder"},
+		{"atomicfield", "internal/srv/counter.go", "MARK:atomicfield"},
+		{"goleak", "internal/srv/spawn.go", "MARK:goleak"},
+		{"metricsdrift", "internal/mx/mx.go", "MARK:metricsdrift"},
+		// The kind-coverage arm of metricsdrift: a Kind constant deliberately
+		// omitted from the kindNames table must be reported at the table.
+		{"metricsdrift", "internal/obsk/kinds.go", "MARK:kindnames"},
 	}
 	if len(diags) != len(expect) {
 		for _, d := range diags {
@@ -258,23 +283,20 @@ pythia_mx_total 0
 		}
 		t.Fatalf("got %d diagnostics, want %d", len(diags), len(expect))
 	}
-	for analyzer, e := range expect {
+	for _, e := range expect {
 		wantLine := markLine(t, files[e.file], e.mark)
 		found := false
 		for _, d := range diags {
-			if d.Analyzer != analyzer {
+			if d.Analyzer != e.analyzer || !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), e.file) {
 				continue
 			}
 			found = true
-			if !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), e.file) {
-				t.Errorf("%s: reported in %s, want %s", analyzer, d.Pos.Filename, e.file)
-			}
 			if d.Pos.Line != wantLine {
-				t.Errorf("%s: reported at line %d, want %d (%s)", analyzer, d.Pos.Line, wantLine, d.Message)
+				t.Errorf("%s: reported at line %d, want %d (%s)", e.analyzer, d.Pos.Line, wantLine, d.Message)
 			}
 		}
 		if !found {
-			t.Errorf("%s: seeded violation in %s not reported", analyzer, e.file)
+			t.Errorf("%s: seeded violation in %s not reported", e.analyzer, e.file)
 		}
 	}
 }

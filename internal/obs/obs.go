@@ -162,6 +162,20 @@ const (
 	// faulting) replica to the next replica on the hash ring.
 	ReplicaFailover
 
+	// QualityScored: one prediction was scored against ground truth — in
+	// replay when a registered query finishes, in serve when a /v1/feedback
+	// report correlates with a prediction ID.
+	QualityScored
+	// DriftWarning: the live plan-token/fingerprint distribution crossed the
+	// warn divergence threshold against the training baseline.
+	DriftWarning
+	// DriftAlarm: divergence crossed the alarm threshold — the live stream no
+	// longer resembles the training distribution.
+	DriftAlarm
+	// DriftRecovered: the drift state machine stepped back down to ok after
+	// its hysteresis cleared.
+	DriftRecovered
+
 	// KindCount is the number of event kinds; counter arrays are sized by
 	// it. It must remain last.
 	KindCount
@@ -209,6 +223,10 @@ var kindNames = [KindCount]string{
 	ReplicaProbe:          "replica_probe",
 	ReplicaRecovered:      "replica_recovered",
 	ReplicaFailover:       "replica_failover",
+	QualityScored:         "quality_scored",
+	DriftWarning:          "drift_warning",
+	DriftAlarm:            "drift_alarm",
+	DriftRecovered:        "drift_recovered",
 }
 
 // String returns the kind's snake_case name (stable: it is the label

@@ -14,6 +14,7 @@ import (
 
 	"github.com/pythia-db/pythia/internal/catalog"
 	"github.com/pythia-db/pythia/internal/predictor"
+	"github.com/pythia-db/pythia/internal/quality"
 )
 
 // Snapshot bundles are framed so a load can tell a torn or bit-rotted file
@@ -83,13 +84,17 @@ func openEnvelope(r io.Reader) ([]byte, error) {
 }
 
 // persistedWorkload is the on-disk form of one trained workload: its name,
-// the matching metadata (templates and relation set), and the predictor.
+// the matching metadata (templates and relation set), the predictor, and the
+// training-time drift baseline. Baseline rides as an added gob field —
+// version 2 snapshots written before it existed decode with a nil Baseline
+// (drift detection off), so the persistence version is unchanged.
 type persistedWorkload struct {
 	Version   int
 	Name      string
 	Templates []string
 	Relations []string
 	Predictor []byte
+	Baseline  *quality.Profile
 }
 
 const persistVersion = 2
@@ -106,7 +111,7 @@ func (s *System) SaveWorkload(name string, w io.Writer) error {
 	if tw == nil {
 		return fmt.Errorf("pythia: no trained workload %q", name)
 	}
-	state := persistedWorkload{Version: persistVersion, Name: tw.Name}
+	state := persistedWorkload{Version: persistVersion, Name: tw.Name, Baseline: tw.Baseline}
 	for t := range tw.templates {
 		state.Templates = append(state.Templates, t)
 	}
@@ -251,6 +256,7 @@ func (s *System) LoadWorkload(r io.Reader) (*Trained, error) {
 	tw := &Trained{
 		Name:      state.Name,
 		Pred:      pred,
+		Baseline:  state.Baseline,
 		templates: map[string]bool{},
 		relations: map[string]bool{},
 	}

@@ -10,13 +10,16 @@ package pythia
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"github.com/pythia-db/pythia/internal/catalog"
 	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	"github.com/pythia-db/pythia/internal/predictor"
+	"github.com/pythia-db/pythia/internal/quality"
 	"github.com/pythia-db/pythia/internal/replay"
+	"github.com/pythia-db/pythia/internal/serialize"
 	"github.com/pythia-db/pythia/internal/sim"
 	"github.com/pythia-db/pythia/internal/span"
 	"github.com/pythia-db/pythia/internal/storage"
@@ -54,6 +57,13 @@ type Config struct {
 	// means no deadline. The Replay.Fault injector's Inference site models
 	// sporadic (rather than systematic) deadline misses.
 	InferenceDeadline sim.Duration
+	// Quality, when non-nil, scores every replayed query against ground
+	// truth and streams each plan's tokens through drift detection. Run
+	// registers queries with it, chains it into the replay's recorder fan-out
+	// (the scorer is a pure observer: virtual-time timelines are bitwise
+	// identical with or without it), and arms its drift baseline from the
+	// system's trained workloads.
+	Quality *quality.Scorer
 }
 
 // Normalize validates the configuration and fills unset (zero) fields with
@@ -100,10 +110,31 @@ func DefaultConfig() Config {
 	}
 }
 
+// driftSerializeCfg is the canonical serialization for drift profiles:
+// coarse, single-resolution value buckets. Drift detection watches for
+// template-mix and domain shifts, not per-instance parameter noise — the
+// model's fine-resolution token ladder would make sparsely-sampled wide
+// domains read as divergence. Baseline and live streams must use the same
+// config; changing it invalidates persisted baselines (the profile hash
+// changes, so /stats shows a new identity).
+var driftSerializeCfg = serialize.Config{ValueBuckets: 8, SingleResolution: true}
+
+// DriftTokens serializes a plan into the model-independent token stream
+// drift profiles are built from — shared by training-time baselines, replay
+// scoring, and the serve tier's live monitors.
+func DriftTokens(root *plan.Node) []serialize.Token {
+	return serialize.Serialize(root, driftSerializeCfg)
+}
+
 // Trained is one workload Pythia has models for.
 type Trained struct {
-	Name      string
-	Pred      *predictor.Predictor
+	Name string
+	Pred *predictor.Predictor
+	// Baseline is the workload's training-time plan-distribution profile:
+	// the frozen reference drift detection compares the live stream against.
+	// Persisted inside the snapshot envelope; nil on snapshots taken before
+	// baselines existed (drift detection then stays off).
+	Baseline  *quality.Profile
 	templates map[string]bool
 	relations map[string]bool
 }
@@ -147,6 +178,7 @@ func (s *System) Train(name string, train []*workload.Instance) *Trained {
 		templates: map[string]bool{},
 		relations: map[string]bool{},
 	}
+	tw.Baseline = &quality.Profile{}
 	for i, inst := range train {
 		samples[i] = predictor.TrainSample{Plan: inst.Plan, Trace: inst.Trace}
 		tw.templates[inst.Query.Template] = true
@@ -154,6 +186,10 @@ func (s *System) Train(name string, train []*workload.Instance) *Trained {
 		for _, d := range inst.Query.Dims {
 			tw.relations[d.Dim] = true
 		}
+		// The drift baseline uses the model-independent serialization (not
+		// the predictor's vocabulary ids) so unmatched held-out queries still
+		// land in the same feature space at serving time.
+		tw.Baseline.ObserveTokens(DriftTokens(inst.Plan))
 	}
 	tw.Pred = predictor.Train(s.DB.Registry, samples, s.cfg.Predictor)
 	s.trained = append(s.trained, tw)
@@ -162,6 +198,55 @@ func (s *System) Train(name string, train []*workload.Instance) *Trained {
 
 // Workloads returns the trained workloads.
 func (s *System) Workloads() []*Trained { return s.trained }
+
+// Baseline merges the trained workloads' training-time profiles into the
+// system-wide drift baseline. Nil when no workload carries one (untrained
+// system, or a snapshot predating baselines) — drift detection stays off.
+func (s *System) Baseline() *quality.Profile {
+	var merged *quality.Profile
+	for _, tw := range s.trained {
+		if tw.Baseline == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &quality.Profile{}
+		}
+		merged.Merge(tw.Baseline)
+	}
+	return merged
+}
+
+// BaselineID identifies the model generation a drift report was measured
+// against: the baseline profile's content hash plus training provenance.
+// /stats exposes it so drift alarms correlate to a specific generation
+// across zero-downtime model swaps.
+type BaselineID struct {
+	// Hash is the baseline Profile's content hash (16 hex chars).
+	Hash string `json:"hash"`
+	// Plans is the number of training plans folded into the baseline.
+	Plans uint64 `json:"plans"`
+	// Workloads is the number of trained workloads merged in.
+	Workloads int `json:"workloads"`
+	// TrainTime is the summed wall-clock fitting time across workloads
+	// (nanoseconds in JSON).
+	TrainTime time.Duration `json:"train_time_ns"`
+}
+
+// BaselineID returns the system's baseline identity, nil when no baseline
+// exists.
+func (s *System) BaselineID() *BaselineID {
+	b := s.Baseline()
+	if b == nil {
+		return nil
+	}
+	id := &BaselineID{Hash: b.HashString(), Plans: b.Plans, Workloads: len(s.trained)}
+	for _, tw := range s.trained {
+		if tw.Pred != nil {
+			id.TrainTime += tw.Pred.TrainTime
+		}
+	}
+	return id
+}
 
 // WithReplay returns a copy of the system sharing its trained predictors
 // but replaying under a different timing configuration — the buffer-size,
@@ -281,6 +366,11 @@ type PrefetchFunc func(*workload.Instance) []storage.PageID
 // prefetch strategy (nil strategy = default execution for all). Prefetch
 // sets from the strategy are buffer-bounded exactly like Pythia's own.
 func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strategy PrefetchFunc) *replay.RunResult {
+	q := s.cfg.Quality
+	if q != nil {
+		q.Bind(s.cfg.Recorder, s.cfg.Tracer)
+		q.StartRun()
+	}
 	specs := make([]replay.QuerySpec, len(insts))
 	var deadlineMisses uint64
 	for i, inst := range insts {
@@ -309,6 +399,14 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 			Prefetch: pf,
 			Window:   s.cfg.Window,
 		}
+		if q != nil {
+			wl := ""
+			if tw := s.Lookup(inst.Query); tw != nil {
+				wl = tw.Name
+			}
+			q.Register(specs[i].ID, wl, pf, inst.Pages)
+			q.ObservePlan(DriftTokens(inst.Plan))
+		}
 	}
 	cfg := s.cfg.Replay
 	cfg.DefaultWindow = s.cfg.Window
@@ -319,6 +417,16 @@ func (s *System) Run(insts []*workload.Instance, arrivals []sim.Duration, strate
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = s.cfg.Tracer
+	}
+	if q != nil {
+		// The scorer rides the recorder fan-out as a pure observer: replay's
+		// event stream drives its per-query counters without touching the
+		// virtual-time engine.
+		if cfg.Recorder != nil {
+			cfg.Recorder = obs.Multi{cfg.Recorder, q}
+		} else {
+			cfg.Recorder = q
+		}
 	}
 	res := replay.Run(s.DB.Registry, cfg, specs)
 	res.InferenceDeadlineMisses = deadlineMisses

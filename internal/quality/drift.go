@@ -1,0 +1,282 @@
+package quality
+
+import "time"
+
+// DriftState is the hysteresis state machine's level: ok < warning < alarm.
+type DriftState uint8
+
+const (
+	// DriftOK: the live window is statistically consistent with the baseline.
+	DriftOK DriftState = iota
+	// DriftWarning: divergence crossed the warn threshold — the mix is
+	// shifting; retraining evidence is accumulating.
+	DriftWarning
+	// DriftAlarm: divergence crossed the alarm threshold — the live stream
+	// no longer resembles what the models were trained on.
+	DriftAlarm
+)
+
+var driftStateNames = [...]string{"ok", "warning", "alarm"}
+
+// String returns the state's stable lowercase name (used as a /stats value
+// and a report field).
+func (s DriftState) String() string {
+	if int(s) < len(driftStateNames) {
+		return driftStateNames[s]
+	}
+	return "unknown"
+}
+
+// Value returns the state as a gauge (ok=0, warning=1, alarm=2), the
+// /metrics companion of String.
+func (s DriftState) Value() int { return int(s) }
+
+// Transition is the outcome of one detector evaluation. Changed is false for
+// the (overwhelmingly common) evaluations that hold state; callers emit
+// obs/span events only on changes.
+type Transition struct {
+	Changed bool
+	From    DriftState
+	To      DriftState
+	// Score is the divergence that drove the evaluation.
+	Score float64
+	// At is the clock reading at the transition (zero value when the
+	// detector has no clock or nothing changed).
+	At time.Time
+}
+
+// Options configure scoring windows and drift detection. The zero value of
+// every field selects the documented default (mirroring the repo's
+// zero=default convention); there are no rejected combinations, so there is
+// no Normalize error path.
+type Options struct {
+	// WindowSize is the sliding score window per workload/replica. Default
+	// 256.
+	WindowSize int
+	// EvalEvery is the drift evaluation cadence: one divergence computation
+	// (and one decay of the live window) per EvalEvery observed plans.
+	// Default 16.
+	EvalEvery int
+	// WarnPSI raises ok→warning when the divergence reaches it. Default
+	// 0.25 (the conventional "significant shift" PSI reading — template
+	// mixes this repo serves sit near 0 when stable).
+	WarnPSI float64
+	// AlarmPSI raises →alarm. Default 0.5.
+	AlarmPSI float64
+	// ClearAfter is the hysteresis on the way down: how many consecutive
+	// sub-warn evaluations step the state down one level. Default 3.
+	ClearAfter int
+	// MinDwell is the minimum time a raised state holds before it may step
+	// down, measured on Now. Zero (the default) disables the dwell — state
+	// transitions are then purely evaluation-count driven, which is what
+	// keeps replay-side drift detection deterministic.
+	MinDwell time.Duration
+	// Now is the clock behind MinDwell and transition stamps; nil means
+	// time.Now. Tests inject a fake (the same convention as serve.Metrics).
+	Now func() time.Time
+}
+
+// withDefaults resolves the zero-value convention.
+func (o Options) withDefaults() Options {
+	if o.WindowSize == 0 {
+		o.WindowSize = 256
+	}
+	if o.EvalEvery == 0 {
+		o.EvalEvery = 16
+	}
+	if o.WarnPSI == 0 {
+		o.WarnPSI = 0.25
+	}
+	if o.AlarmPSI == 0 {
+		o.AlarmPSI = 0.5
+	}
+	if o.ClearAfter == 0 {
+		o.ClearAfter = 3
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Detector is the hysteresis state machine over a divergence-score stream.
+// Raising is immediate (one breaching evaluation moves ok→warning or
+// →alarm); clearing is slow (ClearAfter consecutive sub-warn evaluations,
+// and at least MinDwell since the last raise, step down one level at a
+// time) — a flapping mix alarms once, not once per window.
+//
+// Detector is not synchronized; the Monitor's owner serializes access (the
+// replay scorer is single-threaded, the serve tier wraps it in a mutex).
+type Detector struct {
+	opts Options
+
+	state       DriftState
+	clearStreak int
+	raisedAt    time.Time
+
+	evals      uint64
+	warnings   uint64
+	alarms     uint64
+	recoveries uint64
+	lastScore  float64
+}
+
+// NewDetector returns a detector in DriftOK.
+func NewDetector(o Options) *Detector { return &Detector{opts: o.withDefaults()} }
+
+// Evaluate folds one divergence score into the state machine.
+//
+//pythia:noalloc
+func (d *Detector) Evaluate(score float64) Transition {
+	d.evals++
+	d.lastScore = score
+	target := DriftOK
+	switch {
+	case score >= d.opts.AlarmPSI:
+		target = DriftAlarm
+	case score >= d.opts.WarnPSI:
+		target = DriftWarning
+	}
+	tr := Transition{From: d.state, To: d.state, Score: score}
+	switch {
+	case target > d.state:
+		// Raise immediately, possibly skipping warning entirely.
+		d.clearStreak = 0
+		d.raisedAt = d.opts.Now()
+		tr.To, tr.Changed, tr.At = target, true, d.raisedAt
+		d.state = target
+		switch target {
+		case DriftAlarm:
+			d.alarms++
+		case DriftWarning:
+			d.warnings++
+		}
+	case target < d.state:
+		d.clearStreak++
+		if d.clearStreak >= d.opts.ClearAfter && d.dwellElapsed() {
+			d.clearStreak = 0
+			d.state--
+			tr.To, tr.Changed, tr.At = d.state, true, d.opts.Now()
+			if d.state == DriftOK {
+				d.recoveries++
+			}
+		}
+	default:
+		d.clearStreak = 0
+	}
+	return tr
+}
+
+// dwellElapsed reports whether the raised state has held for MinDwell.
+//
+//pythia:noalloc
+func (d *Detector) dwellElapsed() bool {
+	if d.opts.MinDwell <= 0 {
+		return true
+	}
+	return d.opts.Now().Sub(d.raisedAt) >= d.opts.MinDwell
+}
+
+// State is the current drift level.
+func (d *Detector) State() DriftState { return d.state }
+
+// DriftStats is the detector's counter snapshot for /stats and reports.
+type DriftStats struct {
+	State       string  `json:"state"`
+	StateValue  int     `json:"-"`
+	Score       float64 `json:"score"`
+	Evaluations uint64  `json:"evaluations"`
+	Warnings    uint64  `json:"warnings"`
+	Alarms      uint64  `json:"alarms"`
+	Recoveries  uint64  `json:"recoveries"`
+}
+
+// Stats snapshots the detector.
+func (d *Detector) Stats() DriftStats {
+	return DriftStats{
+		State:       d.state.String(),
+		StateValue:  d.state.Value(),
+		Score:       d.lastScore,
+		Evaluations: d.evals,
+		Warnings:    d.warnings,
+		Alarms:      d.alarms,
+		Recoveries:  d.recoveries,
+	}
+}
+
+// Monitor streams plans against a frozen training baseline: each plan's
+// tokens land in a decaying live Profile, and every EvalEvery plans the
+// baseline↔live divergence runs through the hysteresis detector. Observe is
+// allocation-free; the caller turns returned Transitions into obs events
+// and span marks.
+type Monitor struct {
+	base      Profile
+	live      Profile
+	det       Detector
+	evalEvery int
+	sinceEval int
+}
+
+// NewMonitor builds a monitor against base. A nil base returns a nil
+// monitor — drift detection off; all methods are nil-safe.
+func NewMonitor(base *Profile, o Options) *Monitor {
+	if base == nil {
+		return nil
+	}
+	o = o.withDefaults()
+	return &Monitor{base: *base, det: *NewDetector(o), evalEvery: o.EvalEvery}
+}
+
+// Observe folds one plan's serialized tokens into the live window and, at
+// the evaluation cadence, scores it against the baseline. The zero
+// Transition means "nothing changed".
+//
+//pythia:noalloc
+func (m *Monitor) Observe(tokens []string) Transition {
+	if m == nil {
+		return Transition{}
+	}
+	m.live.ObserveTokens(tokens)
+	m.sinceEval++
+	if m.sinceEval < m.evalEvery {
+		return Transition{}
+	}
+	m.sinceEval = 0
+	tr := m.det.Evaluate(Divergence(&m.base, &m.live))
+	m.live.Tokens.decay()
+	m.live.Prints.decay()
+	return tr
+}
+
+// Score is the divergence at the last evaluation (0 before the first).
+func (m *Monitor) Score() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.det.lastScore
+}
+
+// State is the current drift level (DriftOK for a nil monitor).
+func (m *Monitor) State() DriftState {
+	if m == nil {
+		return DriftOK
+	}
+	return m.det.State()
+}
+
+// Stats snapshots the detector (zero value for a nil monitor, with state
+// "ok" — drift-off reads as stable, not as a fourth state).
+func (m *Monitor) Stats() DriftStats {
+	if m == nil {
+		return DriftStats{State: DriftOK.String()}
+	}
+	return m.det.Stats()
+}
+
+// Baseline returns a copy of the frozen baseline profile.
+func (m *Monitor) Baseline() *Profile {
+	if m == nil {
+		return nil
+	}
+	return m.base.Clone()
+}

@@ -1,0 +1,216 @@
+// Package quality is the prediction-quality and workload-drift measurement
+// layer: the evidence stream ROADMAP item 4's online-learning loop will
+// consume, available today as scrape-able telemetry.
+//
+// Two concerns live here, deliberately decoupled from where predictions come
+// from:
+//
+//   - Scoring. A prediction is a page set; ground truth is the page set the
+//     executor actually touched. ScoreSets computes the exact set overlap
+//     (precision = fraction of prefetched pages that were needed, recall =
+//     fraction of needed pages that were prefetched); Window keeps a
+//     fixed-size sliding window of scores with O(1) rolling sums so the
+//     serving tier reports fresh quality without unbounded state. The replay
+//     Scorer additionally reconciles set math against the obs event stream
+//     (useful/wasted prefetch, fallback sync reads) — the two views are tied
+//     by exact counter identities, pinned by test.
+//
+//   - Drift. A Profile is a pair of fixed-size hashed histograms (Sketch)
+//     over a plan stream: one over serialized plan tokens, one over whole-plan
+//     fingerprints. Training freezes a baseline Profile into the snapshot
+//     envelope; a Monitor accumulates the live stream into a decaying window
+//     Profile and, every EvalEvery plans, computes a Population Stability
+//     Index between baseline and window. A hysteresis Detector turns the
+//     score stream into ok → warning → alarm state transitions that the
+//     caller surfaces as obs.DriftWarning/DriftAlarm/DriftRecovered events.
+//
+// Design constraints mirror the obs package: the hot paths — recording one
+// event, observing one plan into the sketches, adding one score to a window —
+// are //pythia:noalloc and allocation-free, so quality observation never
+// perturbs a replay timeline or a serving request. Everything that allocates
+// (registration, report assembly) happens off the hot path.
+package quality
+
+import "github.com/pythia-db/pythia/internal/storage"
+
+// Score is the exact set overlap of one prediction against ground truth.
+type Score struct {
+	// Predicted is |P|: pages the prediction issued.
+	Predicted int
+	// Actual is |A|: distinct pages the executor actually needed.
+	Actual int
+	// TruePos is |P ∩ A|: predicted pages that were needed.
+	TruePos int
+}
+
+// Precision is TruePos/Predicted — the fraction of prefetched pages that
+// were needed. An empty prediction is vacuously precise (nothing was wasted).
+func (s Score) Precision() float64 {
+	if s.Predicted == 0 {
+		return 1
+	}
+	return float64(s.TruePos) / float64(s.Predicted)
+}
+
+// Recall is TruePos/Actual — the fraction of needed pages that were
+// prefetched. A query that needed nothing is vacuously recalled.
+func (s Score) Recall() float64 {
+	if s.Actual == 0 {
+		return 1
+	}
+	return float64(s.TruePos) / float64(s.Actual)
+}
+
+// WastedRatio is 1 − precision: the fraction of prefetched pages the
+// executor never needed.
+func (s Score) WastedRatio() float64 { return 1 - s.Precision() }
+
+// add folds another score into this one (component-wise sums, for
+// aggregates).
+func (s *Score) add(o Score) {
+	s.Predicted += o.Predicted
+	s.Actual += o.Actual
+	s.TruePos += o.TruePos
+}
+
+// ScoreSets computes the exact overlap of a predicted page set against the
+// actually-accessed set. Neither input need be sorted or duplicate-free; the
+// function copies and canonicalizes both, so it allocates — call it at query
+// registration or feedback time, never per event.
+func ScoreSets(predicted, actual []storage.PageID) Score {
+	p := canonical(predicted)
+	a := canonical(actual)
+	s := Score{Predicted: len(p), Actual: len(a)}
+	i, j := 0, 0
+	for i < len(p) && j < len(a) {
+		switch {
+		case p[i] == a[j]:
+			s.TruePos++
+			i++
+			j++
+		case p[i].Less(a[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// canonical returns a sorted, deduplicated copy of pages.
+func canonical(pages []storage.PageID) []storage.PageID {
+	if len(pages) == 0 {
+		return nil
+	}
+	out := make([]storage.PageID, len(pages))
+	copy(out, pages)
+	// Insertion sort territory is rare (predicted sets run hundreds of
+	// pages); use a simple in-place quicksort-free approach via sort-by-Less.
+	sortPageIDs(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// sortPageIDs sorts in (Object, Page) order without pulling in sort's
+// interface boxing for a hot-adjacent path.
+func sortPageIDs(p []storage.PageID) {
+	if len(p) < 2 {
+		return
+	}
+	// Heapsort: in-place, no allocation, deterministic.
+	n := len(p)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPageIDs(p, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		p[0], p[i] = p[i], p[0]
+		siftPageIDs(p, 0, i)
+	}
+}
+
+func siftPageIDs(p []storage.PageID, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && p[child].Less(p[child+1]) {
+			child++
+		}
+		if !p[root].Less(p[child]) {
+			return
+		}
+		p[root], p[child] = p[child], p[root]
+		root = child
+	}
+}
+
+// Window is a fixed-size sliding window of Scores with O(1) rolling sums:
+// the serving tier's freshness-bounded quality view. Construct with
+// NewWindow; Add is allocation-free.
+type Window struct {
+	ring []Score
+	next int
+	n    int
+	sums Score  // component sums over the resident window
+	seen uint64 // lifetime scores added (not windowed)
+}
+
+// NewWindow returns a window holding the last size scores (minimum 1).
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{ring: make([]Score, size)}
+}
+
+// Add inserts one score, evicting the oldest past capacity.
+//
+//pythia:noalloc
+func (w *Window) Add(s Score) {
+	if w.n == len(w.ring) {
+		old := w.ring[w.next]
+		w.sums.Predicted -= old.Predicted
+		w.sums.Actual -= old.Actual
+		w.sums.TruePos -= old.TruePos
+	} else {
+		w.n++
+	}
+	w.ring[w.next] = s
+	w.next = (w.next + 1) % len(w.ring)
+	w.sums.add(s)
+	w.seen++
+}
+
+// Len is the number of scores resident in the window.
+func (w *Window) Len() int { return w.n }
+
+// Seen is the lifetime number of scores added.
+func (w *Window) Seen() uint64 { return w.seen }
+
+// Sums returns the component sums over the resident window.
+func (w *Window) Sums() Score { return w.sums }
+
+// Precision is the windowed micro-averaged precision (sums over the window,
+// not a mean of ratios, so large predictions weigh more). An empty window
+// reports 0 — "no data" must not render as perfect quality on a dashboard.
+func (w *Window) Precision() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sums.Precision()
+}
+
+// Recall is the windowed micro-averaged recall (0 when empty).
+func (w *Window) Recall() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sums.Recall()
+}

@@ -1,0 +1,314 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/pythia-db/pythia/internal/obs"
+	"github.com/pythia-db/pythia/internal/storage"
+)
+
+func pg(obj, page uint32) storage.PageID {
+	return storage.PageID{Object: storage.ObjectID(obj), Page: storage.PageNum(page)}
+}
+
+func TestScoreSets(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, act    []storage.PageID
+		want         Score
+		wantP, wantR float64
+	}{
+		{
+			name:  "exact overlap",
+			pred:  []storage.PageID{pg(1, 1), pg(1, 2), pg(1, 3)},
+			act:   []storage.PageID{pg(1, 1), pg(1, 2), pg(1, 3)},
+			want:  Score{Predicted: 3, Actual: 3, TruePos: 3},
+			wantP: 1, wantR: 1,
+		},
+		{
+			name:  "partial, unsorted, duplicated inputs",
+			pred:  []storage.PageID{pg(2, 9), pg(1, 1), pg(2, 9), pg(1, 5)},
+			act:   []storage.PageID{pg(1, 5), pg(1, 5), pg(3, 1), pg(1, 1)},
+			want:  Score{Predicted: 3, Actual: 3, TruePos: 2},
+			wantP: 2.0 / 3, wantR: 2.0 / 3,
+		},
+		{
+			name:  "disjoint",
+			pred:  []storage.PageID{pg(1, 1)},
+			act:   []storage.PageID{pg(2, 2)},
+			want:  Score{Predicted: 1, Actual: 1, TruePos: 0},
+			wantP: 0, wantR: 0,
+		},
+		{
+			name:  "empty prediction is vacuously precise",
+			pred:  nil,
+			act:   []storage.PageID{pg(1, 1)},
+			want:  Score{Predicted: 0, Actual: 1, TruePos: 0},
+			wantP: 1, wantR: 0,
+		},
+		{
+			name:  "empty ground truth is vacuously recalled",
+			pred:  []storage.PageID{pg(1, 1)},
+			act:   nil,
+			want:  Score{Predicted: 1, Actual: 0, TruePos: 0},
+			wantP: 0, wantR: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ScoreSets(tc.pred, tc.act)
+			if got != tc.want {
+				t.Fatalf("ScoreSets = %+v, want %+v", got, tc.want)
+			}
+			if p := got.Precision(); math.Abs(p-tc.wantP) > 1e-12 {
+				t.Errorf("precision = %v, want %v", p, tc.wantP)
+			}
+			if r := got.Recall(); math.Abs(r-tc.wantR) > 1e-12 {
+				t.Errorf("recall = %v, want %v", r, tc.wantR)
+			}
+		})
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(2)
+	if w.Precision() != 0 || w.Recall() != 0 {
+		t.Fatalf("empty window must report 0 quality, got p=%v r=%v", w.Precision(), w.Recall())
+	}
+	w.Add(Score{Predicted: 10, Actual: 10, TruePos: 0}) // terrible
+	w.Add(Score{Predicted: 4, Actual: 4, TruePos: 4})
+	w.Add(Score{Predicted: 4, Actual: 4, TruePos: 4}) // evicts the terrible one
+	if w.Len() != 2 || w.Seen() != 3 {
+		t.Fatalf("Len=%d Seen=%d, want 2, 3", w.Len(), w.Seen())
+	}
+	if got := (Score{Predicted: 8, Actual: 8, TruePos: 8}); w.Sums() != got {
+		t.Fatalf("Sums = %+v, want %+v", w.Sums(), got)
+	}
+	if w.Precision() != 1 || w.Recall() != 1 {
+		t.Fatalf("post-eviction p=%v r=%v, want 1, 1", w.Precision(), w.Recall())
+	}
+}
+
+func TestPSI(t *testing.T) {
+	var a, b Sketch
+	for i := uint64(0); i < 1000; i++ {
+		a.Observe(i % 7)
+		b.Observe(i % 7)
+	}
+	if psi := PSI(&a, &b); psi > 1e-9 {
+		t.Fatalf("identical sketches: PSI = %v, want ~0", psi)
+	}
+	var c Sketch
+	for i := uint64(0); i < 1000; i++ {
+		c.Observe(1_000_000 + i%7) // different support entirely
+	}
+	if psi := PSI(&a, &c); psi < 1 {
+		t.Fatalf("disjoint sketches: PSI = %v, want >= 1", psi)
+	}
+	var empty Sketch
+	if psi := PSI(&empty, &empty); psi != 0 {
+		t.Fatalf("empty sketches: PSI = %v, want 0", psi)
+	}
+}
+
+func TestProfileHashStable(t *testing.T) {
+	var a, b Profile
+	a.ObserveTokens([]string{"Seq", "tbl", "Join"})
+	b.ObserveTokens([]string{"Seq", "tbl", "Join"})
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical streams must hash identically")
+	}
+	b.ObserveTokens([]string{"Seq"})
+	if a.Hash() == b.Hash() {
+		t.Fatal("diverged streams must hash differently")
+	}
+	if len(a.HashString()) != 16 {
+		t.Fatalf("HashString = %q, want 16 hex chars", a.HashString())
+	}
+}
+
+// TestDetectorHysteresis drives the state machine with a fake clock through
+// the full warning→alarm→recovered arc, checking both the ClearAfter streak
+// and the MinDwell clock gate.
+func TestDetectorHysteresis(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	d := NewDetector(Options{
+		WarnPSI: 0.25, AlarmPSI: 0.5, ClearAfter: 2,
+		MinDwell: 10 * time.Second, Now: clock,
+	})
+
+	// ok → warning raises immediately.
+	tr := d.Evaluate(0.3)
+	if !tr.Changed || tr.From != DriftOK || tr.To != DriftWarning {
+		t.Fatalf("warn raise: %+v", tr)
+	}
+	// warning → alarm raises immediately.
+	tr = d.Evaluate(0.9)
+	if !tr.Changed || tr.From != DriftWarning || tr.To != DriftAlarm {
+		t.Fatalf("alarm raise: %+v", tr)
+	}
+	// One clean reading is not enough (ClearAfter=2)…
+	if tr = d.Evaluate(0.01); tr.Changed {
+		t.Fatalf("cleared after one sub-warn eval: %+v", tr)
+	}
+	// …and even the second is held back by MinDwell.
+	if tr = d.Evaluate(0.01); tr.Changed {
+		t.Fatalf("cleared before MinDwell elapsed: %+v", tr)
+	}
+	now = now.Add(11 * time.Second)
+	// A breaching reading resets the clear streak.
+	if tr = d.Evaluate(0.9); tr.Changed {
+		t.Fatalf("unexpected transition on re-breach: %+v", tr)
+	}
+	// Two consecutive clean readings past the dwell step down one level…
+	d.Evaluate(0.01)
+	tr = d.Evaluate(0.01)
+	if !tr.Changed || tr.To != DriftWarning {
+		t.Fatalf("step down to warning: %+v", tr)
+	}
+	// …and two more land back at ok, counting one recovery.
+	d.Evaluate(0.01)
+	tr = d.Evaluate(0.01)
+	if !tr.Changed || tr.To != DriftOK {
+		t.Fatalf("step down to ok: %+v", tr)
+	}
+	st := d.Stats()
+	if st.State != "ok" || st.Warnings != 1 || st.Alarms != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMonitorDetectsShift(t *testing.T) {
+	base := &Profile{}
+	for i := 0; i < 200; i++ {
+		base.ObserveTokens([]string{"Seq", "lineitem", "Agg"})
+	}
+	// Same mix: no drift, ever.
+	m := NewMonitor(base, Options{EvalEvery: 4})
+	for i := 0; i < 200; i++ {
+		if tr := m.Observe([]string{"Seq", "lineitem", "Agg"}); tr.Changed {
+			t.Fatalf("drift fired on the training mix at plan %d: %+v", i, tr)
+		}
+	}
+	if m.State() != DriftOK {
+		t.Fatalf("state = %v after training mix, want ok", m.State())
+	}
+	// Held-out mix: alarm must fire.
+	m2 := NewMonitor(base, Options{EvalEvery: 4})
+	fired := false
+	for i := 0; i < 200; i++ {
+		tr := m2.Observe([]string{"Idx", "orders", "NestLoop", "Sort"})
+		if tr.Changed && tr.To == DriftAlarm {
+			fired = true
+		}
+	}
+	if !fired || m2.State() != DriftAlarm {
+		t.Fatalf("held-out mix: fired=%v state=%v, want alarm", fired, m2.State())
+	}
+
+	// Nil-baseline monitor is inert.
+	var nilMon *Monitor
+	if tr := nilMon.Observe([]string{"x"}); tr.Changed || nilMon.State() != DriftOK {
+		t.Fatal("nil monitor must be inert")
+	}
+	if st := nilMon.Stats(); st.State != "ok" {
+		t.Fatalf("nil monitor stats state = %q, want ok", st.State)
+	}
+}
+
+func TestScorerRecordAndReport(t *testing.T) {
+	s := NewScorer(Options{})
+	s.StartRun()
+	s.Register("q0", "wl_a", []storage.PageID{pg(1, 1), pg(1, 2)}, []storage.PageID{pg(1, 1), pg(1, 3)})
+	s.Register("q1", "wl_b", []storage.PageID{pg(2, 1)}, []storage.PageID{pg(2, 1)})
+
+	s.Record(obs.Event{Kind: obs.PrefetchedIn, Query: 0})
+	s.Record(obs.Event{Kind: obs.PrefetchedIn, Query: 0})
+	s.Record(obs.Event{Kind: obs.PrefetchHit, Query: 0})
+	s.Record(obs.Event{Kind: obs.PrefetchWasted, Query: 0})
+	s.Record(obs.Event{Kind: obs.BufferMiss, Query: 0})
+	s.Record(obs.Event{Kind: obs.PrefetchedIn, Query: 1})
+	s.Record(obs.Event{Kind: obs.PrefetchHit, Query: 1})
+	// System-level and out-of-range events are ignored, not misattributed.
+	s.Record(obs.Event{Kind: obs.PrefetchedIn, Query: obs.NoQuery})
+	s.Record(obs.Event{Kind: obs.PrefetchedIn, Query: 99})
+
+	r := s.Report()
+	if len(r.Queries) != 2 || len(r.Workloads) != 2 {
+		t.Fatalf("report shape: %d queries, %d workloads", len(r.Queries), len(r.Workloads))
+	}
+	q0 := r.Queries[0]
+	if q0.Set != (Score{Predicted: 2, Actual: 2, TruePos: 1}) {
+		t.Fatalf("q0 set = %+v", q0.Set)
+	}
+	if q0.Events != (EventCounts{Prefetched: 2, Useful: 1, Wasted: 1, BufferMisses: 1}) {
+		t.Fatalf("q0 events = %+v", q0.Events)
+	}
+	if r.Total.Events.Prefetched != 3 || r.Total.Set.TruePos != 2 {
+		t.Fatalf("totals = %+v", r.Total)
+	}
+	if cov := r.Total.Coverage; math.Abs(cov-2.0/3) > 1e-12 {
+		t.Fatalf("coverage = %v, want 2/3", cov)
+	}
+	if r.Drift.State != "ok" {
+		t.Fatalf("unarmed drift state = %q, want ok", r.Drift.State)
+	}
+
+	// A second run re-bases obs query indexes.
+	s.StartRun()
+	s.Register("q0-run2", "wl_a", nil, nil)
+	s.Record(obs.Event{Kind: obs.FallbackSyncRead, Query: 0})
+	r = s.Report()
+	if r.Queries[2].Events.Fallbacks != 1 || r.Queries[0].Events.Fallbacks != 0 {
+		t.Fatalf("run re-basing misattributed events: %+v vs %+v", r.Queries[2].Events, r.Queries[0].Events)
+	}
+}
+
+// TestHotPathsNoAlloc pins the acceptance criterion: scoring and sketch
+// updates on the hot path are allocation-free.
+func TestHotPathsNoAlloc(t *testing.T) {
+	w := NewWindow(8)
+	sc := Score{Predicted: 4, Actual: 4, TruePos: 3}
+	if n := testing.AllocsPerRun(200, func() { w.Add(sc) }); n != 0 {
+		t.Errorf("Window.Add allocates %v/op", n)
+	}
+
+	var sk Sketch
+	if n := testing.AllocsPerRun(200, func() { sk.Observe(42) }); n != 0 {
+		t.Errorf("Sketch.Observe allocates %v/op", n)
+	}
+
+	var prof Profile
+	tokens := []string{"Seq", "lineitem", "Agg", "Sort"}
+	if n := testing.AllocsPerRun(200, func() { prof.ObserveTokens(tokens) }); n != 0 {
+		t.Errorf("Profile.ObserveTokens allocates %v/op", n)
+	}
+
+	base := prof.Clone()
+	m := NewMonitor(base, Options{EvalEvery: 2})
+	if n := testing.AllocsPerRun(200, func() { m.Observe(tokens) }); n != 0 {
+		t.Errorf("Monitor.Observe allocates %v/op", n)
+	}
+
+	d := NewDetector(Options{Now: time.Now})
+	if n := testing.AllocsPerRun(200, func() { d.Evaluate(0.01) }); n != 0 {
+		t.Errorf("Detector.Evaluate allocates %v/op", n)
+	}
+
+	var liveP, liveB Profile
+	liveP.ObserveTokens(tokens)
+	if n := testing.AllocsPerRun(200, func() { _ = Divergence(&liveB, &liveP) }); n != 0 {
+		t.Errorf("Divergence allocates %v/op", n)
+	}
+
+	s := NewScorer(Options{})
+	s.StartRun()
+	s.Register("q", "wl", []storage.PageID{pg(1, 1)}, []storage.PageID{pg(1, 1)})
+	ev := obs.Event{Kind: obs.PrefetchHit, Query: 0}
+	if n := testing.AllocsPerRun(200, func() { s.Record(ev) }); n != 0 {
+		t.Errorf("Scorer.Record allocates %v/op", n)
+	}
+}

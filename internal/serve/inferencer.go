@@ -9,9 +9,18 @@ import (
 	"github.com/pythia-db/pythia/internal/fault"
 	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/quality"
 	"github.com/pythia-db/pythia/internal/serialize"
 	"github.com/pythia-db/pythia/internal/storage"
 )
+
+// baseliner is the optional Inferencer extension exposing the serving
+// system's drift-baseline identity. Single and Pool implement it; stubbed
+// test Inferencers need not — /stats then omits the baseline block, exactly
+// like an untrained system.
+type baseliner interface {
+	BaselineID() *corepythia.BaselineID
+}
 
 // Inferencer is the seam between the HTTP surface and the model tier. The
 // Server decodes and plans requests, applies global shedding and timeouts,
@@ -124,6 +133,17 @@ type ReplicaStatus struct {
 	BatchedReqs    uint64   `json:"batched_requests"`
 	Workloads      []string `json:"workloads"`
 	Params         int      `json:"params"`
+
+	// QualityScored counts feedback reports scored against this replica's
+	// predictions; Precision and Recall are micro-averaged over its sliding
+	// feedback window (0 with no feedback — "no data" must not read as
+	// perfect).
+	QualityScored uint64  `json:"quality_scored"`
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	// Drift is the replica's drift-detector snapshot (state "ok" with zero
+	// counters when the serving system carries no training baseline).
+	Drift quality.DriftStats `json:"drift"`
 
 	// BreakerValue is the breaker state as a gauge (closed=0, half_open=1,
 	// open=2), for aggregation on /metrics; the name is in Breaker.

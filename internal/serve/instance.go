@@ -10,8 +10,22 @@ import (
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/quality"
 	"github.com/pythia-db/pythia/internal/storage"
 )
+
+// qualityWindowSize is each replica's sliding feedback-score window: fresh
+// enough to reflect the current mix, deep enough that windowed precision is
+// not one noisy query.
+const qualityWindowSize = 512
+
+// serveDriftEvalEvery slows the drift detector's evaluation cadence on the
+// serve tier relative to the replay default. A sustained load run evaluates
+// thousands of times where a replay evaluates a handful, so the detector's
+// per-evaluation false-positive probability gets multiplied by a factor the
+// replay tier never sees; a longer cadence both shrinks that factor and
+// quadruples the decayed live sample each PSI reading is computed from.
+const serveDriftEvalEvery = 64
 
 // instance is one serving replica: an independent trained system with its
 // own prediction cache, micro-batcher, circuit breaker, and bounded work
@@ -48,6 +62,15 @@ type instance struct {
 	// while its siblings idle.
 	queue chan struct{}
 
+	// qmu serializes the replica's quality state: the sliding window of
+	// feedback scores and the drift monitor (Monitor is not synchronized by
+	// design — its other owner, the replay scorer, is single-threaded). qmon
+	// is nil when the replica's system carries no training baseline (untrained
+	// server, or a snapshot predating baselines) — drift detection off.
+	qmu  sync.Mutex
+	qwin *quality.Window
+	qmon *quality.Monitor
+
 	// missInflight counts requests currently on the miss (inference) path;
 	// a miss only routes to the batcher when others are already inferring,
 	// so an idle replica's p50 never pays the batch window.
@@ -65,6 +88,8 @@ func newInstance(id int, gen uint64, sys *corepythia.System, metrics *Metrics, f
 		metrics: metrics, fgate: fgate, warm: warm,
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, metrics.Events()),
 		health:  newHealth(opts.QuarantineThreshold, opts.QuarantineBackoff, opts.QuarantineProbes, metrics.Events()),
+		qwin:    quality.NewWindow(qualityWindowSize),
+		qmon:    quality.NewMonitor(sys.Baseline(), quality.Options{EvalEvery: serveDriftEvalEvery}),
 	}
 	if opts.CacheEntries > 0 {
 		ins.cache = newPredCache(opts.CacheEntries, metrics.Events())
@@ -104,6 +129,11 @@ func (ins *instance) predict(ctx context.Context, q plan.Query, root *plan.Node,
 	ins.inflight.Add(1)
 	defer ins.inflight.Add(-1)
 	defer ins.served.Add(1)
+
+	// Every admitted request feeds the drift monitor — matched or fallback:
+	// a flood of unmatched plans is exactly the shift drift detection exists
+	// to catch.
+	ins.observeDrift(root)
 
 	var tw *corepythia.Trained
 	if routed {
@@ -202,6 +232,33 @@ func (ins *instance) infer(ctx context.Context, tw *corepythia.Trained, root *pl
 	}
 }
 
+// observeDrift folds one planned query into the replica's live distribution
+// profile and surfaces any drift-state transition as obs events and span
+// marks. One mutex acquisition when armed; a nil-check when not.
+func (ins *instance) observeDrift(root *plan.Node) {
+	if ins.qmon == nil {
+		return
+	}
+	ins.qmu.Lock()
+	tr := ins.qmon.Observe(corepythia.DriftTokens(root))
+	ins.qmu.Unlock()
+	if !tr.Changed {
+		return
+	}
+	if rec := ins.metrics.Events(); rec != nil {
+		rec.Record(obs.Event{Kind: quality.DriftEventKind(tr.To), Query: obs.NoQuery})
+	}
+	ins.metrics.markDrift(quality.DriftMarkKind(tr.To))
+}
+
+// feedback folds one scored prediction into the replica's quality window
+// (called by the server when /v1/feedback resolves to this replica).
+func (ins *instance) feedback(sc quality.Score) {
+	ins.qmu.Lock()
+	ins.qwin.Add(sc)
+	ins.qmu.Unlock()
+}
+
 // status reports this replica's row for InfStatus.
 func (ins *instance) status() ReplicaStatus {
 	st := ReplicaStatus{
@@ -231,6 +288,12 @@ func (ins *instance) status() ReplicaStatus {
 		st.Batches = ins.batcher.batches.Load()
 		st.BatchedReqs = ins.batcher.batched.Load()
 	}
+	ins.qmu.Lock()
+	st.QualityScored = ins.qwin.Seen()
+	st.Precision = ins.qwin.Precision()
+	st.Recall = ins.qwin.Recall()
+	st.Drift = ins.qmon.Stats()
+	ins.qmu.Unlock()
 	return st
 }
 

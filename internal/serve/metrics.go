@@ -76,6 +76,11 @@ type Metrics struct {
 
 	events *obs.AtomicCounters // system + replay event totals
 
+	// monoNS is the high-water uptime reading in nanoseconds: UptimeMonotonic
+	// never decreases across scrapes even if the wall clock steps backward
+	// under Uptime (an NTP correction, or a test clock rewound on purpose).
+	monoNS atomic.Int64
+
 	build BuildInfo
 
 	// tracer, when non-nil, records one span.HTTPSpan per instrumented
@@ -111,6 +116,7 @@ func NewMetrics(counters *obs.AtomicCounters) *Metrics {
 func (m *Metrics) setClock(now func() time.Time) {
 	m.now = now
 	m.start = now()
+	m.monoNS.Store(0)
 }
 
 // setBuildInfo replaces the binary's build identity. Test-only, same role as
@@ -133,6 +139,23 @@ func (m *Metrics) Events() *obs.AtomicCounters { return m.events }
 
 // Uptime reports time since the metrics hub was created.
 func (m *Metrics) Uptime() time.Duration { return m.now().Sub(m.start) }
+
+// UptimeMonotonic reports the high-water Uptime reading: guaranteed
+// non-decreasing across calls, so dashboards diffing consecutive /stats
+// scrapes never observe the server getting younger when the wall clock
+// steps.
+func (m *Metrics) UptimeMonotonic() time.Duration {
+	for {
+		cur := m.Uptime().Nanoseconds()
+		prev := m.monoNS.Load()
+		if cur <= prev {
+			return time.Duration(prev)
+		}
+		if m.monoNS.CompareAndSwap(prev, cur) {
+			return time.Duration(cur)
+		}
+	}
+}
 
 // observeRequest records one completed HTTP request.
 func (m *Metrics) observeRequest(endpoint string, code int, d time.Duration) {
@@ -172,6 +195,27 @@ func (m *Metrics) markCache(hit bool) {
 	kind := span.PredCacheMissMark
 	if hit {
 		kind = span.PredCacheHitMark
+	}
+	tr.Instant(kind, "predict", span.NoQuery, sim.Time(m.now().Sub(m.start)))
+}
+
+// markQuality stamps a quality-feedback instant mark onto the span trace,
+// attributed to the feedback endpoint.
+func (m *Metrics) markQuality() {
+	tr := m.tracer.Load()
+	if tr == nil {
+		return
+	}
+	tr.Instant(span.QualityScoreMark, "feedback", span.NoQuery, sim.Time(m.now().Sub(m.start)))
+}
+
+// markDrift stamps a drift-transition instant mark (warning, alarm, or
+// recovered) onto the span trace, attributed to the predict endpoint that
+// tipped the detector.
+func (m *Metrics) markDrift(kind span.Kind) {
+	tr := m.tracer.Load()
+	if tr == nil {
+		return
 	}
 	tr.Instant(kind, "predict", span.NoQuery, sim.Time(m.now().Sub(m.start)))
 }

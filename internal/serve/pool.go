@@ -314,6 +314,13 @@ func (p *Pool) Status() InfStatus {
 	return st
 }
 
+// BaselineID reports the serving generation's drift-baseline identity (every
+// replica decodes the same snapshot, so the routing replica's answers for
+// all).
+func (p *Pool) BaselineID() *corepythia.BaselineID {
+	return p.cur.Load().instances[0].sys.BaselineID()
+}
+
 // Swap loads a snapshot into a complete standby generation (one fresh clone
 // per replica), warms it on recently served plans, atomically makes it the
 // serving generation, and drains the superseded one in the background.

@@ -167,6 +167,46 @@ func (s *Server) writePrometheus(w io.Writer) {
 	healthValue, _ := worstHealthState(st)
 	fmt.Fprintf(w, "pythia_replica_health %d\n", healthValue)
 
+	// Prediction quality and workload drift. Like the fast-path families the
+	// quality rows render unconditionally (zeros before any feedback), so the
+	// exposition shape never depends on whether clients report ground truth.
+	q := s.qualitySnapshot()
+	fmt.Fprintln(w, "# HELP pythia_quality_feedback_total Predictions scored against executor ground truth via /v1/feedback.")
+	fmt.Fprintln(w, "# TYPE pythia_quality_feedback_total counter")
+	fmt.Fprintf(w, "pythia_quality_feedback_total %d\n", q.Scored)
+	fmt.Fprintln(w, "# HELP pythia_quality_precision Windowed micro-averaged precision of scored predictions (0 = no data).")
+	fmt.Fprintln(w, "# TYPE pythia_quality_precision gauge")
+	fmt.Fprintf(w, "pythia_quality_precision %s\n", formatFloat(q.Precision))
+	fmt.Fprintln(w, "# HELP pythia_quality_recall Windowed micro-averaged recall of scored predictions (0 = no data).")
+	fmt.Fprintln(w, "# TYPE pythia_quality_recall gauge")
+	fmt.Fprintf(w, "pythia_quality_recall %s\n", formatFloat(q.Recall))
+
+	drift := aggregateDrift(st)
+	fmt.Fprintln(w, "# HELP pythia_drift_state Worst drift-detector state across replicas (0=ok, 1=warning, 2=alarm).")
+	fmt.Fprintln(w, "# TYPE pythia_drift_state gauge")
+	driftValue := 0
+	for _, r := range st.Replicas {
+		if r.Drift.StateValue > driftValue {
+			driftValue = r.Drift.StateValue
+		}
+	}
+	fmt.Fprintf(w, "pythia_drift_state %d\n", driftValue)
+	fmt.Fprintln(w, "# HELP pythia_drift_score Max live-vs-baseline divergence (PSI) across replicas at the last evaluation.")
+	fmt.Fprintln(w, "# TYPE pythia_drift_score gauge")
+	fmt.Fprintf(w, "pythia_drift_score %s\n", formatFloat(drift.Score))
+	fmt.Fprintln(w, "# HELP pythia_drift_evaluations_total Drift evaluations across replicas.")
+	fmt.Fprintln(w, "# TYPE pythia_drift_evaluations_total counter")
+	fmt.Fprintf(w, "pythia_drift_evaluations_total %d\n", drift.Evaluations)
+	fmt.Fprintln(w, "# HELP pythia_drift_warnings_total Drift warning transitions across replicas.")
+	fmt.Fprintln(w, "# TYPE pythia_drift_warnings_total counter")
+	fmt.Fprintf(w, "pythia_drift_warnings_total %d\n", drift.Warnings)
+	fmt.Fprintln(w, "# HELP pythia_drift_alarms_total Drift alarm transitions across replicas.")
+	fmt.Fprintln(w, "# TYPE pythia_drift_alarms_total counter")
+	fmt.Fprintf(w, "pythia_drift_alarms_total %d\n", drift.Alarms)
+	fmt.Fprintln(w, "# HELP pythia_drift_recoveries_total Drift recoveries (alarm or warning back to ok) across replicas.")
+	fmt.Fprintln(w, "# TYPE pythia_drift_recoveries_total counter")
+	fmt.Fprintf(w, "pythia_drift_recoveries_total %d\n", drift.Recoveries)
+
 	fmt.Fprintln(w, "# HELP pythia_draining Whether the server is draining for shutdown.")
 	fmt.Fprintln(w, "# TYPE pythia_draining gauge")
 	drain := 0

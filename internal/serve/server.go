@@ -54,20 +54,22 @@ import (
 	"github.com/pythia-db/pythia/internal/obs"
 	"github.com/pythia-db/pythia/internal/plan"
 	corepythia "github.com/pythia-db/pythia/internal/pythia"
+	"github.com/pythia-db/pythia/internal/quality"
 	"github.com/pythia-db/pythia/internal/spec"
 	"github.com/pythia-db/pythia/internal/storage"
 )
 
 // Error codes of the JSON error envelope.
 const (
-	CodeMethodNotAllowed = "method_not_allowed"
-	CodeInvalidSpec      = "invalid_spec"
-	CodePlanFailed       = "plan_failed"
-	CodeClientGone       = "client_disconnected"
-	CodeTooLarge         = "body_too_large"
-	CodeOverloaded       = "overloaded"
-	CodeDeadline         = "deadline_exceeded"
-	CodeModelError       = "model_error"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeInvalidSpec       = "invalid_spec"
+	CodePlanFailed        = "plan_failed"
+	CodeClientGone        = "client_disconnected"
+	CodeTooLarge          = "body_too_large"
+	CodeOverloaded        = "overloaded"
+	CodeDeadline          = "deadline_exceeded"
+	CodeModelError        = "model_error"
+	CodeUnknownPrediction = "unknown_prediction"
 )
 
 // StatusClientClosedRequest mirrors nginx's 499: the client disconnected
@@ -288,6 +290,13 @@ type Server struct {
 	// replicas when the server built it (nil for NewWithInferencer).
 	fgate *faultGate
 
+	// tracker correlates served predictions with their /v1/feedback reports;
+	// qwin is the server-wide sliding window of feedback scores (per-replica
+	// windows live on the instances). qmu guards qwin only.
+	tracker predTracker
+	qmu     sync.Mutex
+	qwin    *quality.Window
+
 	inflight  atomic.Int64
 	draining  atomic.Bool
 	closeOnce sync.Once
@@ -318,7 +327,8 @@ func New(db *catalog.Database, sys *corepythia.System, metrics *Metrics, opts Op
 	} else {
 		inf = newSingle(db, sys, metrics, fgate, norm)
 	}
-	return &Server{db: db, inf: inf, metrics: metrics, opts: norm, fgate: fgate}, nil
+	return &Server{db: db, inf: inf, metrics: metrics, opts: norm, fgate: fgate,
+		qwin: quality.NewWindow(qualityWindowSize)}, nil
 }
 
 // NewWithInferencer assembles a server over an externally built Inferencer —
@@ -334,7 +344,8 @@ func NewWithInferencer(db *catalog.Database, inf Inferencer, metrics *Metrics, o
 	if metrics == nil {
 		metrics = NewMetrics(nil)
 	}
-	return &Server{db: db, inf: inf, metrics: metrics, opts: norm}, nil
+	return &Server{db: db, inf: inf, metrics: metrics, opts: norm,
+		qwin: quality.NewWindow(qualityWindowSize)}, nil
 }
 
 // Close tears down the inferencer's background machinery (micro-batch
@@ -385,6 +396,7 @@ func (s *Server) Handler() http.Handler {
 	versioned := map[string]http.HandlerFunc{
 		"predict":        s.shed(s.handlePredict),
 		"explain":        s.shed(s.handleExplain),
+		"feedback":       s.handleFeedback,
 		"healthz":        s.handleHealth,
 		"admin/reload":   s.handleReload,
 		"admin/replicas": s.handleReplicas,
@@ -454,17 +466,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 type predictResponse struct {
-	Workload   string     `json:"workload"`
-	Fallback   bool       `json:"fallback"`
-	Cached     bool       `json:"cached,omitempty"`   // answered from the prediction cache (zero inference)
-	Degraded   string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
-	Replica    int        `json:"replica"`            // serving replica index (-1 = never routed)
-	Generation uint64     `json:"generation"`         // model generation that answered
-	Pages      []pageJSON `json:"pages"`
-	PageCount  int        `json:"page_count"`
-	ElapsedMS  float64    `json:"elapsed_ms"`
-	Plan       string     `json:"plan,omitempty"`
-	Tokens     []string   `json:"tokens,omitempty"`
+	// PredictionID correlates this answer with a later POST /v1/feedback
+	// report; it stays resolvable until trackSlots newer predictions have
+	// been served.
+	PredictionID string     `json:"prediction_id,omitempty"`
+	Workload     string     `json:"workload"`
+	Fallback     bool       `json:"fallback"`
+	Cached       bool       `json:"cached,omitempty"`   // answered from the prediction cache (zero inference)
+	Degraded     string     `json:"degraded,omitempty"` // why the model path was skipped (e.g. breaker_open)
+	Replica      int        `json:"replica"`            // serving replica index (-1 = never routed)
+	Generation   uint64     `json:"generation"`         // model generation that answered
+	Pages        []pageJSON `json:"pages"`
+	PageCount    int        `json:"page_count"`
+	ElapsedMS    float64    `json:"elapsed_ms"`
+	Plan         string     `json:"plan,omitempty"`
+	Tokens       []string   `json:"tokens,omitempty"`
 }
 
 type pageJSON struct {
@@ -535,8 +551,112 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.writePages(&resp, pred.Pages)
 	resp.PageCount = len(resp.Pages)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.PredictionID = s.tracker.note(pred.Workload, pred.Replica, pred.Pages)
 	s.metrics.observePrediction(resp.PageCount, resp.Fallback)
 	writeJSON(w, resp)
+}
+
+// feedbackRequest is the POST /v1/feedback body: a prediction id from a
+// predict response plus the pages the query's execution actually touched
+// (same shape as the predict response's pages array).
+type feedbackRequest struct {
+	PredictionID string     `json:"prediction_id"`
+	Pages        []pageJSON `json:"pages"`
+}
+
+// feedbackResponse echoes the score computed from one feedback report.
+type feedbackResponse struct {
+	PredictionID  string  `json:"prediction_id"`
+	Workload      string  `json:"workload,omitempty"`
+	Replica       int     `json:"replica"`
+	Predicted     int     `json:"predicted"`
+	Actual        int     `json:"actual"`
+	TruePositives int     `json:"true_positives"`
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	WastedRatio   float64 `json:"wasted_ratio"`
+}
+
+// handleFeedback scores a served prediction against the pages its query
+// actually touched: the online ground-truth loop that makes serve-tier
+// precision and recall measurable without replaying anything. The score
+// lands in the server-wide quality window, the serving replica's window, the
+// obs event stream (obs.QualityScored), and the span trace.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST a feedback JSON document")
+		return
+	}
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.opts.MaxBodyBytes)
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	actual := make([]storage.PageID, 0, len(req.Pages))
+	for _, p := range req.Pages {
+		obj := s.db.Registry.LookupName(p.Object)
+		if obj == nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+				fmt.Sprintf("unknown object %q in feedback pages", p.Object))
+			return
+		}
+		actual = append(actual, storage.PageID{Object: obj.ID, Page: storage.PageNum(p.Page)})
+	}
+	rec, ok := s.tracker.take(req.PredictionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownPrediction,
+			fmt.Sprintf("prediction %q is unknown, already scored, or expired", req.PredictionID))
+		return
+	}
+	sc := quality.ScoreSets(rec.pages, actual)
+	s.qmu.Lock()
+	s.qwin.Add(sc)
+	s.qmu.Unlock()
+	if ins := s.instByID(rec.replica); ins != nil {
+		ins.feedback(sc)
+	}
+	s.metrics.events.Record(obs.Event{Kind: obs.QualityScored, Query: obs.NoQuery})
+	s.metrics.markQuality()
+	writeJSON(w, feedbackResponse{
+		PredictionID:  req.PredictionID,
+		Workload:      rec.workload,
+		Replica:       rec.replica,
+		Predicted:     sc.Predicted,
+		Actual:        sc.Actual,
+		TruePositives: sc.TruePos,
+		Precision:     sc.Precision(),
+		Recall:        sc.Recall(),
+		WastedRatio:   sc.WastedRatio(),
+	})
+}
+
+// instByID resolves a replica id to the serving instance carrying it (nil
+// for stubbed Inferencers, a replica id from a superseded generation, or a
+// pool-level fallback that never routed).
+func (s *Server) instByID(id int) *instance {
+	switch v := s.inf.(type) {
+	case *Single:
+		if ins := v.cur.Load(); ins != nil && ins.id == id {
+			return ins
+		}
+	case *Pool:
+		for _, ins := range v.cur.Load().instances {
+			if ins.id == id {
+				return ins
+			}
+		}
+	}
+	return nil
 }
 
 // writePredictError maps Inferencer sentinel errors onto the HTTP error
@@ -628,31 +748,110 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the JSON shape of /stats.
 type statsResponse struct {
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	Build          BuildInfo         `json:"build"`
-	Requests       []requestRow      `json:"requests"`
-	Latency        []latencyRow      `json:"latency"`
-	Predictions    uint64            `json:"predictions"`
-	Fallbacks      uint64            `json:"fallbacks"`
-	FallbackRate   float64           `json:"fallback_rate"`
-	PredictedPages uint64            `json:"predicted_pages"`
-	AvgSetSize     float64           `json:"avg_set_size"`
-	Events         map[string]uint64 `json:"events"`
-	BufferHitRatio float64           `json:"buffer_hit_ratio"`
-	OSHitRatio     float64           `json:"oscache_hit_ratio"`
-	Shed           uint64            `json:"requests_shed"`
-	Timeouts       uint64            `json:"inference_timeouts"`
-	Failovers      uint64            `json:"replica_failovers"`
-	Hedges         uint64            `json:"request_hedges"`
-	HedgeWins      uint64            `json:"request_hedge_wins"`
-	BreakerState   string            `json:"breaker_state"`
-	HealthState    string            `json:"health_state"`
-	Draining       bool              `json:"draining"`
-	Generation     uint64            `json:"generation"`
-	Swaps          uint64            `json:"swaps"`
-	Replicas       []ReplicaStatus   `json:"replicas"`
-	PredCache      *predCacheStats   `json:"predcache,omitempty"`
-	Batching       *batchingStats    `json:"batching,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// UptimeMonotonicSeconds is the high-water uptime reading: it never
+	// decreases between scrapes even when the wall clock behind
+	// UptimeSeconds steps backward.
+	UptimeMonotonicSeconds float64           `json:"uptime_monotonic_seconds"`
+	Build                  BuildInfo         `json:"build"`
+	Requests               []requestRow      `json:"requests"`
+	Latency                []latencyRow      `json:"latency"`
+	Predictions            uint64            `json:"predictions"`
+	Fallbacks              uint64            `json:"fallbacks"`
+	FallbackRate           float64           `json:"fallback_rate"`
+	PredictedPages         uint64            `json:"predicted_pages"`
+	AvgSetSize             float64           `json:"avg_set_size"`
+	Events                 map[string]uint64 `json:"events"`
+	BufferHitRatio         float64           `json:"buffer_hit_ratio"`
+	OSHitRatio             float64           `json:"oscache_hit_ratio"`
+	Shed                   uint64            `json:"requests_shed"`
+	Timeouts               uint64            `json:"inference_timeouts"`
+	Failovers              uint64            `json:"replica_failovers"`
+	Hedges                 uint64            `json:"request_hedges"`
+	HedgeWins              uint64            `json:"request_hedge_wins"`
+	BreakerState           string            `json:"breaker_state"`
+	HealthState            string            `json:"health_state"`
+	Draining               bool              `json:"draining"`
+	Generation             uint64            `json:"generation"`
+	Swaps                  uint64            `json:"swaps"`
+	Replicas               []ReplicaStatus   `json:"replicas"`
+	PredCache              *predCacheStats   `json:"predcache,omitempty"`
+	Batching               *batchingStats    `json:"batching,omitempty"`
+	// Quality aggregates the feedback-scored prediction quality server-wide;
+	// per-replica views are in the replicas rows. Always present — zeros mean
+	// "no feedback yet", and rendering the block unconditionally keeps the
+	// /stats shape configuration-independent.
+	Quality qualityStats `json:"quality"`
+	// Drift aggregates the replicas' drift detectors: worst state, max score,
+	// summed counters.
+	Drift driftAggStats `json:"drift"`
+	// Baseline identifies the drift baseline the serving snapshot carries
+	// (absent when the system is untrained, predates baselines, or the
+	// Inferencer is stubbed).
+	Baseline *corepythia.BaselineID `json:"baseline,omitempty"`
+}
+
+// qualityStats is the /stats view of the server-wide feedback window.
+type qualityStats struct {
+	// Scored is the lifetime count of feedback reports scored.
+	Scored uint64 `json:"scored"`
+	// Window is how many scores the sliding window currently holds.
+	Window int `json:"window"`
+	// Precision and Recall are micro-averaged over the window (0 when empty).
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	// WastedRatio is 1 − precision over the window.
+	WastedRatio float64 `json:"wasted_ratio"`
+}
+
+// driftAggStats is the /stats fleet view of drift: the single-state summary
+// a dashboard alerts on, aggregated across replicas the same way the breaker
+// and health gauges are.
+type driftAggStats struct {
+	State       string  `json:"state"`
+	Score       float64 `json:"score"`
+	Evaluations uint64  `json:"evaluations"`
+	Warnings    uint64  `json:"warnings"`
+	Alarms      uint64  `json:"alarms"`
+	Recoveries  uint64  `json:"recoveries"`
+}
+
+// aggregateDrift folds the replicas' drift snapshots into the fleet view:
+// worst state and max score (a healthy replica must not mask an alarming
+// one), summed counters.
+func aggregateDrift(st InfStatus) driftAggStats {
+	agg := driftAggStats{State: quality.DriftOK.String()}
+	worst := 0
+	for _, r := range st.Replicas {
+		if r.Drift.StateValue > worst {
+			worst = r.Drift.StateValue
+		}
+		if r.Drift.Score > agg.Score {
+			agg.Score = r.Drift.Score
+		}
+		agg.Evaluations += r.Drift.Evaluations
+		agg.Warnings += r.Drift.Warnings
+		agg.Alarms += r.Drift.Alarms
+		agg.Recoveries += r.Drift.Recoveries
+	}
+	agg.State = quality.DriftState(worst).String()
+	return agg
+}
+
+// qualitySnapshot reads the server-wide feedback window.
+func (s *Server) qualitySnapshot() qualityStats {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	q := qualityStats{
+		Scored:    s.qwin.Seen(),
+		Window:    s.qwin.Len(),
+		Precision: s.qwin.Precision(),
+		Recall:    s.qwin.Recall(),
+	}
+	if q.Window > 0 {
+		q.WastedRatio = 1 - q.Precision
+	}
+	return q
 }
 
 // predCacheStats is the /stats view of the prediction caches, summed across
@@ -709,27 +908,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_, breakerName := worstBreakerState(st)
 	_, healthName := worstHealthState(st)
 	resp := statsResponse{
-		UptimeSeconds:  m.Uptime().Seconds(),
-		Build:          m.Build(),
-		Requests:       m.snapshotRequests(),
-		Latency:        m.snapshotLatency(),
-		Predictions:    m.predictions.Load(),
-		Fallbacks:      m.fallbacks.Load(),
-		PredictedPages: m.predictedPages.Load(),
-		Events:         snap.Map(),
-		BufferHitRatio: snap.HitRatio(obs.BufferHit, obs.BufferMiss),
-		OSHitRatio:     snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
-		Shed:           m.sheds.Load(),
-		Timeouts:       m.timeouts.Load(),
-		Failovers:      m.failovers.Load(),
-		Hedges:         m.hedges.Load(),
-		HedgeWins:      m.hedgeWins.Load(),
-		BreakerState:   breakerName,
-		HealthState:    healthName,
-		Draining:       s.draining.Load(),
-		Generation:     st.Generation,
-		Swaps:          st.Swaps,
-		Replicas:       st.Replicas,
+		UptimeSeconds:          m.Uptime().Seconds(),
+		UptimeMonotonicSeconds: m.UptimeMonotonic().Seconds(),
+		Build:                  m.Build(),
+		Requests:               m.snapshotRequests(),
+		Latency:                m.snapshotLatency(),
+		Predictions:            m.predictions.Load(),
+		Fallbacks:              m.fallbacks.Load(),
+		PredictedPages:         m.predictedPages.Load(),
+		Events:                 snap.Map(),
+		BufferHitRatio:         snap.HitRatio(obs.BufferHit, obs.BufferMiss),
+		OSHitRatio:             snap.HitRatio(obs.OSCacheHit, obs.OSCacheMiss),
+		Shed:                   m.sheds.Load(),
+		Timeouts:               m.timeouts.Load(),
+		Failovers:              m.failovers.Load(),
+		Hedges:                 m.hedges.Load(),
+		HedgeWins:              m.hedgeWins.Load(),
+		BreakerState:           breakerName,
+		HealthState:            healthName,
+		Draining:               s.draining.Load(),
+		Generation:             st.Generation,
+		Swaps:                  st.Swaps,
+		Replicas:               st.Replicas,
+		Quality:                s.qualitySnapshot(),
+		Drift:                  aggregateDrift(st),
+	}
+	if b, ok := s.inf.(baseliner); ok {
+		resp.Baseline = b.BaselineID()
 	}
 	if resp.Predictions > 0 {
 		resp.FallbackRate = float64(resp.Fallbacks) / float64(resp.Predictions)

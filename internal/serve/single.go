@@ -109,5 +109,9 @@ func (s *Single) Swap(r io.Reader) error {
 	return nil
 }
 
+// BaselineID reports the serving system's drift-baseline identity (nil when
+// untrained or the snapshot predates baselines).
+func (s *Single) BaselineID() *corepythia.BaselineID { return s.cur.Load().sys.BaselineID() }
+
 // Close tears down the current instance's batch collector.
 func (s *Single) Close() { s.cur.Load().close() }

@@ -96,6 +96,15 @@ const (
 	// cache outcomes: a hit means the request skipped inference entirely.
 	PredCacheHitMark
 	PredCacheMissMark
+	// QualityScoreMark annotates one prediction scored against ground truth
+	// (serve: a /v1/feedback round-trip; replay: a registered query scored).
+	QualityScoreMark
+	// DriftWarningMark / DriftAlarmMark / DriftRecoveredMark annotate drift
+	// state transitions so trace timelines correlate latency shifts with
+	// distribution shifts.
+	DriftWarningMark
+	DriftAlarmMark
+	DriftRecoveredMark
 
 	// KindCount is the number of span kinds; it must remain last.
 	KindCount
@@ -123,6 +132,10 @@ var kindNames = [KindCount]string{
 	OSCacheEvictMark:   "oscache_evict",
 	PredCacheHitMark:   "predcache_hit",
 	PredCacheMissMark:  "predcache_miss",
+	QualityScoreMark:   "quality_feedback",
+	DriftWarningMark:   "drift_warning",
+	DriftAlarmMark:     "drift_alarm",
+	DriftRecoveredMark: "drift_recovered",
 }
 
 // String returns the kind's snake_case name (stable: it is the event name
